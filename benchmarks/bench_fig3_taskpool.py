@@ -1,0 +1,111 @@
+"""Figure 3 (design study): task aggregation for dynamic load balancing.
+
+The paper aggregates fine-grained mixed-spin tasks into large tasks of
+decreasing size with a fine-grained tail, trading communication (task
+requests) against load balance.  This benchmark sweeps the three pool
+parameters on a simulated 64-MSP machine with heterogeneous task costs and
+reports the resulting load imbalance and DLB-server traffic - reproducing
+the design rationale: aggregation cuts task requests by an order of
+magnitude while the fine tail keeps the imbalance bounded by one fine task.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.parallel import build_task_pool, pool_statistics
+from repro.x1 import DynamicLoadBalancer, Engine, SymmetricHeap, X1Config
+
+from conftest import write_result
+
+P = 64
+RNG = np.random.default_rng(7)
+UNIT_COSTS = RNG.lognormal(mean=0.0, sigma=0.8, size=5000) * 1e-3  # seconds
+
+
+def simulate(tasks):
+    cfg = X1Config(n_msps=P)
+    heap = SymmetricHeap(P)
+    dlb = DynamicLoadBalancer(heap)
+    n = len(tasks)
+
+    def prog(proc, h):
+        while True:
+            t = yield from dlb.inext(proc)
+            if t >= n:
+                break
+            yield proc.compute(tasks[t].cost, label="work")
+
+    eng = Engine(cfg, heap)
+    eng.run([prog] * P)
+    return eng
+
+
+def sweep_configs():
+    return [
+        ("fine only", dict(n_fine_per_proc=16, n_large_per_proc=16, n_small_per_proc=0)),
+        ("paper (aggregated + tail)", dict(n_fine_per_proc=16, n_large_per_proc=3, n_small_per_proc=4)),
+        ("coarse, no tail", dict(n_fine_per_proc=16, n_large_per_proc=1, n_small_per_proc=0)),
+        ("one block per proc", dict(n_fine_per_proc=1, n_large_per_proc=1, n_small_per_proc=0)),
+    ]
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    out = {}
+    for label, kw in sweep_configs():
+        tasks = build_task_pool(UNIT_COSTS, P, **kw)
+        eng = simulate(tasks)
+        out[label] = (tasks, eng)
+    return out
+
+
+def test_fig3_sweep(sweep_results):
+    rows = []
+    for label, (tasks, eng) in sweep_results.items():
+        stats = pool_statistics(tasks)
+        rows.append(
+            [
+                label,
+                stats["n_tasks"],
+                round(eng.elapsed() * 1e3, 2),
+                round(eng.load_imbalance() * 1e3, 3),
+                round(stats["tail_cost"] * 1e3, 3),
+            ]
+        )
+    text = format_table(
+        ["pool", "tasks", "elapsed ms", "imbalance ms", "tail task ms"],
+        rows,
+        title="Fig 3 study: task aggregation vs load balance (64 MSPs, 5000 units)",
+    )
+    write_result("fig3_taskpool", text)
+
+    fine = sweep_results["fine only"][1]
+    paper = sweep_results["paper (aggregated + tail)"][1]
+    no_tail = sweep_results["coarse, no tail"][1]
+    coarse = sweep_results["one block per proc"][1]
+
+    # the aggregated pool needs far fewer task requests...
+    assert len(sweep_results["paper (aggregated + tail)"][0]) < 0.6 * len(
+        sweep_results["fine only"][0]
+    )
+    # ...while keeping total time close to the fine pool's (within 25%)...
+    assert paper.elapsed() < 1.25 * fine.elapsed()
+    # ...and the fine tail pays off: dramatically better balance than the
+    # same aggregation without a tail or a static one-block split
+    assert paper.load_imbalance() < 0.5 * no_tail.load_imbalance()
+    assert paper.load_imbalance() < 0.5 * coarse.load_imbalance()
+
+
+def test_fig3_decreasing_order_matters():
+    """Serving large tasks first is what makes aggregation safe."""
+    kw = dict(n_fine_per_proc=16, n_large_per_proc=3, n_small_per_proc=4)
+    tasks = build_task_pool(UNIT_COSTS, P, **kw)
+    eng_ordered = simulate(tasks)
+    eng_reversed = simulate(list(reversed(tasks)))
+    # big-tasks-last risks one straggler holding the whole machine
+    assert eng_ordered.elapsed() <= eng_reversed.elapsed() + 1e-9
+
+
+def test_bench_taskpool_build(benchmark):
+    benchmark(build_task_pool, UNIT_COSTS, P, n_fine_per_proc=16, n_large_per_proc=3, n_small_per_proc=4)

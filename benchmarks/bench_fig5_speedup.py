@@ -1,0 +1,85 @@
+"""Figure 5: parallel scalability of the O- calculation, 128 -> 256 MSPs.
+
+The paper reports almost perfect speedup for the oxygen-anion ground state
+(14,851,999,576 determinants, aug-cc-pVQZ) between 128 and 256 MSPs, with
+the same-spin routine sustaining ~9.6 GF/MSP and the mixed-spin routine
+8.5 -> 8.1 GF/MSP.
+"""
+
+import pytest
+
+from repro.analysis import format_series
+from repro.parallel import FCISpaceSpec, TraceFCI, atom_irreps
+from repro.x1 import X1Config
+
+from conftest import write_result
+
+MSPS = [128, 160, 192, 224, 256]
+
+
+@pytest.fixture(scope="module")
+def o_anion_spec():
+    spec = FCISpaceSpec(43, 4, 5, "D2h", atom_irreps(43), 0, name="O-")
+    # sanity: the space must match the paper's quoted dimension
+    assert abs(spec.ci_dimension() - 14_851_999_576) / 14_851_999_576 < 0.02
+    return spec
+
+
+@pytest.fixture(scope="module")
+def fig5_results(o_anion_spec):
+    return {
+        P: TraceFCI(o_anion_spec, X1Config(n_msps=P)).run_iteration() for P in MSPS
+    }
+
+
+def test_fig5_speedup(fig5_results, o_anion_spec):
+    base = fig5_results[MSPS[0]].elapsed * MSPS[0]
+    speedup = [fig5_results[P].elapsed and MSPS[0] * fig5_results[MSPS[0]].elapsed / fig5_results[P].elapsed / MSPS[0] for P in MSPS]
+    speedup = [fig5_results[MSPS[0]].elapsed / fig5_results[P].elapsed for P in MSPS]
+    ideal = [P / MSPS[0] for P in MSPS]
+    series = {
+        "speedup": [round(s, 3) for s in speedup],
+        "ideal": ideal,
+        "efficiency": [round(s / i, 3) for s, i in zip(speedup, ideal)],
+        "bb GF/MSP": [
+            round(fig5_results[P].phase_gflops_per_msp["beta-beta"], 2) for P in MSPS
+        ],
+        "ab GF/MSP": [
+            round(fig5_results[P].phase_gflops_per_msp["alpha-beta"], 2) for P in MSPS
+        ],
+    }
+    text = format_series(
+        "MSPs",
+        MSPS,
+        series,
+        title=f"Fig 5: {o_anion_spec.describe()} - speedup relative to 128 MSPs",
+    )
+    text += (
+        "\npaper: almost perfect speedup; same-spin ~9.6 GF/MSP, "
+        "mixed-spin 8.5 -> 8.1 GF/MSP"
+    )
+    write_result("fig5_speedup", text)
+
+    # almost perfect speedup: >= 93% parallel efficiency at 2x
+    assert speedup[-1] > 1.86
+    # monotone speedup
+    assert all(b > a for a, b in zip(speedup, speedup[1:]))
+    # sustained per-MSP rates in the paper's neighbourhood and ordering
+    for P in MSPS:
+        bb = fig5_results[P].phase_gflops_per_msp["beta-beta"]
+        ab = fig5_results[P].phase_gflops_per_msp["alpha-beta"]
+        assert 7.0 < bb < 12.0
+        assert 6.0 < ab < 11.0
+        assert ab < bb  # mixed-spin slower per MSP (gathers + comm)
+
+
+def test_fig5_mixed_rate_degrades_slightly(fig5_results):
+    # paper: 8.5 GF/MSP at 128 down to 8.1 at 256 - a mild monotone decline
+    rates = [fig5_results[P].phase_gflops_per_msp["alpha-beta"] for P in MSPS]
+    assert rates[-1] <= rates[0] + 0.05
+    assert rates[0] - rates[-1] < 1.0
+
+
+def test_bench_fig5_point(benchmark, o_anion_spec):
+    trace = TraceFCI(o_anion_spec, X1Config(n_msps=256))
+    benchmark(trace.run_iteration)

@@ -1,0 +1,117 @@
+"""Section 2.2 motivation + orbital-count sweep (extensions).
+
+1. **Memory/I-O motivation for the single-vector method**: quantify the
+   storage of a Davidson subspace vs the auto single-vector scheme for the
+   paper's benchmark spaces, and the filesystem time a disk-backed subspace
+   would cost at the paper's measured 293/246 MB/s rates - the argument of
+   the paper's section 2.2 in numbers.
+2. **Orbital-count sweep**: wall-clock of the real MOC and DGEMM sigma
+   kernels as the orbital count grows at fixed electron count - the paper's
+   claim that the operation-count gap becomes "insignificant" for large
+   bases while the kernel gap persists.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_series, format_table
+from repro.core import (
+    CIProblem,
+    davidson_io_penalty,
+    method_footprints,
+    sigma_dgemm,
+    sigma_moc,
+)
+from repro.scf.mo import MOIntegrals
+from repro.x1 import X1Config
+
+from conftest import write_result
+
+
+def test_memory_motivation():
+    rows = []
+    for label, dim in [
+        ("O 1.48e9", 1_484_871_696),
+        ("O- 14.85e9", 14_851_999_576),
+        ("C2 64.93e9", 64_931_348_928),
+    ]:
+        fps = method_footprints(dim, 432)
+        dav, _, auto = fps
+        rows.append(
+            [
+                label,
+                f"{dav.total_bytes / 1e12:.1f} TB",
+                f"{auto.total_bytes / 1e12:.2f} TB",
+                f"{dav.bytes_per_msp / 1e9:.1f} GB",
+                f"{auto.bytes_per_msp / 1e9:.2f} GB",
+            ]
+        )
+    text = format_table(
+        ["space", "Davidson total", "auto total", "Davidson /MSP", "auto /MSP"],
+        rows,
+        title="Section 2.2: vector storage, Davidson(m=12) vs single-vector, 432 MSPs",
+    )
+    penalty = davidson_io_penalty(64_931_348_928, X1Config(n_msps=432))
+    text += (
+        f"\ndisk-backed Davidson subspace for C2: {penalty / 3600:.1f} hours of "
+        f"I/O per 25 iterations at the paper's 293/246 MB/s - vs 249 s/iter compute"
+    )
+    write_result("memory_motivation", text)
+
+    # the argument must actually hold: auto fits where Davidson dwarfs it
+    fps = method_footprints(64_931_348_928, 432)
+    assert fps[0].total_bytes > 5 * fps[2].total_bytes
+    assert penalty > 25 * 249  # I/O would dominate the entire computation
+
+
+def _random_problem(n, na, nb, seed=0):
+    rng = np.random.default_rng(seed)
+    h = rng.standard_normal((n, n))
+    h = 0.5 * (h + h.T)
+    g = rng.standard_normal((n,) * 4)
+    g = g + g.transpose(1, 0, 2, 3)
+    g = g + g.transpose(0, 1, 3, 2)
+    g = g + g.transpose(2, 3, 0, 1)
+    return CIProblem(MOIntegrals(h=h, g=g, e_core=0.0, n_orbitals=n), na, nb)
+
+
+def test_orbital_sweep():
+    """Real-kernel wall-clock vs orbital count at fixed 3+3 electrons."""
+    ns = [6, 8, 10, 12]
+    t_moc, t_dgemm, ratio = [], [], []
+    for n in ns:
+        prob = _random_problem(n, 3, 3, seed=n)
+        C = prob.random_vector(0)
+        sigma_dgemm(prob, C)  # build tables
+        sigma_moc(prob, C)
+        reps = 3
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            s1 = sigma_dgemm(prob, C)
+        td = (time.perf_counter() - t0) / reps
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            s2 = sigma_moc(prob, C)
+        tm = (time.perf_counter() - t0) / reps
+        assert np.allclose(s1, s2, atol=1e-9)
+        t_moc.append(round(tm * 1e3, 1))
+        t_dgemm.append(round(td * 1e3, 1))
+        ratio.append(round(tm / td, 1))
+    text = format_series(
+        "orbitals",
+        ns,
+        {"MOC ms": t_moc, "DGEMM ms": t_dgemm, "MOC/DGEMM": ratio},
+        title="Orbital sweep: real sigma kernels, 3a+3b electrons (identical results)",
+    )
+    write_result("orbital_sweep", text)
+    # the DGEMM kernel advantage persists (and typically grows) with n
+    assert all(r > 1.0 for r in ratio[1:])
+
+
+def test_bench_dgemm_largest(benchmark):
+    prob = _random_problem(12, 3, 3, seed=12)
+    C = prob.random_vector(0)
+    sigma_dgemm(prob, C)
+    benchmark(sigma_dgemm, prob, C)

@@ -1,0 +1,98 @@
+"""Table 2: iterations required by the four diagonalization methods.
+
+The paper compares Davidson (subspace), Olsen, modified (damped) Olsen and
+the automatically adjusted single-vector method on CH3OH, H2O2, CN+ and the
+O atom, converged to 1e-10 Eh.  The paper's CI spaces are 18M-506M
+determinants; we run the *same chemistries* at laptop scale (STO-3G/6-31G,
+frozen cores, a truncated active window for CH3OH) and reproduce the
+*ranking*: Olsen fails to converge tightly (marked NC), the damped variant
+rescues some cases but not CN+, and Davidson and the auto-adjusted method
+both converge tightly - the auto method with a comparable iteration count
+and no subspace storage.
+
+Entries are also marked NC when a run "converges" to the wrong state
+(energy off the Davidson reference), which is how Olsen typically fails.
+"""
+
+import pytest
+
+from repro import FCISolver
+from repro.analysis import format_table
+
+from conftest import write_result
+
+MAX_ITER = 80
+
+
+def _run(mol, method, **kw):
+    solver = FCISolver(mol, method=method, max_iterations=MAX_ITER, **kw)
+    return solver.run()
+
+
+def _entry(result, reference_energy):
+    ok = result.solve.converged and abs(result.energy - reference_energy) < 1e-6
+    return str(result.solve.n_iterations) if ok else "NC"
+
+
+CASES = [
+    # label, fixture name, solver kwargs
+    ("CH3OH (14e,10o)", "methanol", dict(basis="sto-3g", frozen_core=2, n_active=10)),
+    ("H2O2 (14e,10o)", "peroxide", dict(basis="sto-3g", frozen_core=2)),
+    (
+        "CN+ (8e,8o)",
+        "cn_plus",
+        dict(basis="sto-3g", frozen_core=2, point_group="C2v", wavefunction_irrep="A1"),
+    ),
+    ("O 3P (6e,8o)", "oxygen", dict(basis="6-31g", frozen_core=1, point_group="D2h")),
+]
+
+
+@pytest.fixture(scope="module")
+def table2_rows(request):
+    rows = []
+    for label, fixture, kw in CASES:
+        mol = request.getfixturevalue(fixture)
+        ref = _run(mol, "davidson", **kw)
+        assert ref.solve.converged, f"Davidson reference failed for {label}"
+        row = [label, ref.problem.symmetry_dimension()]
+        row.append(_entry(ref, ref.energy))
+        for method in ["olsen", "olsen-damped", "auto"]:
+            res = _run(mol, method, **kw)
+            row.append(_entry(res, ref.energy))
+        row.append(f"{ref.energy:.8f}")
+        rows.append(row)
+    return rows
+
+
+def test_table2_rows(table2_rows):
+    text = format_table(
+        ["molecule", "dim", "Davidson", "Olsen", "Olsen(0.7)", "Auto", "E(FCI)"],
+        table2_rows,
+        title=(
+            "Table 2: iterations to 1e-10 Eh (NC = not tightly converged / "
+            "wrong state)\npaper rows: CH3OH 41M dets: 17/NC/19/15; "
+            "H2O2 506M: 17/NC/22/15; CN+ 105M: 41/NC/>>60/22; O 18M: 11/9/9/9"
+        ),
+    )
+    write_result("table2_diagonalization", text)
+
+    # shape assertions matching the paper's findings
+    by_label = {r[0]: r for r in table2_rows}
+    # Davidson and Auto converge everywhere
+    for row in table2_rows:
+        assert row[2] != "NC", f"Davidson failed: {row[0]}"
+        assert row[5] != "NC", f"Auto failed: {row[0]}"
+    # Olsen fails on the strongly multireference CN+ case
+    assert by_label["CN+ (8e,8o)"][3] == "NC"
+    # the damped variant also fails for CN+ (paper: ">>60")
+    assert by_label["CN+ (8e,8o)"][4] == "NC"
+
+
+def test_bench_auto_method(benchmark, oxygen):
+    """Time one full auto-adjusted solve (the paper's production method)."""
+
+    def run():
+        return _run(oxygen, "auto", basis="6-31g", frozen_core=1, point_group="D2h")
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.solve.converged

@@ -1,0 +1,72 @@
+"""Shared benchmark fixtures: molecules and a results writer.
+
+Every benchmark prints the rows/series of the paper table or figure it
+regenerates and also writes them under ``benchmarks/results/`` so the output
+survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.molecule import Molecule
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def methanol():
+    # CH3OH, near-experimental geometry (bohr)
+    return Molecule.from_atoms(
+        [
+            ("C", (-0.0503, 1.2847, 0.0)),
+            ("O", (-0.0503, -1.4244, 0.0)),
+            ("H", (1.9068, 1.9747, 0.0)),
+            ("H", (-0.9776, 2.0297, 1.6741)),
+            ("H", (-0.9776, 2.0297, -1.6741)),
+            ("H", (1.6473, -2.0265, 0.0)),
+        ],
+        name="CH3OH",
+    )
+
+
+@pytest.fixture(scope="session")
+def peroxide():
+    # H2O2 (bohr), C2-like geometry
+    return Molecule.from_atoms(
+        [
+            ("O", (0.0, 1.3711, -0.1141)),
+            ("O", (0.0, -1.3711, -0.1141)),
+            ("H", (1.5874, 1.7605, 0.9129)),
+            ("H", (-1.5874, -1.7605, 0.9129)),
+        ],
+        name="H2O2",
+    )
+
+
+@pytest.fixture(scope="session")
+def cn_plus():
+    return Molecule.from_atoms(
+        [("C", (0, 0, 0)), ("N", (0, 0, 2.2))], charge=1, name="CN+"
+    )
+
+
+@pytest.fixture(scope="session")
+def oxygen():
+    return Molecule.from_atoms([("O", (0, 0, 0))], multiplicity=3, name="O")
+
+
+@pytest.fixture(scope="session")
+def c2():
+    # C2 at r_e ~ 1.2425 A = 2.348 bohr
+    return Molecule.from_atoms(
+        [("C", (0, 0, -1.174)), ("C", (0, 0, 1.174))], name="C2"
+    )

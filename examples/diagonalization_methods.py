@@ -1,0 +1,50 @@
+"""Compare the paper's four diagonalization methods on a hard case.
+
+CN+ is the strongly multireference system the paper uses to stress-test
+eigensolvers (Table 2): plain Olsen single-vector iteration diverges, the
+fixed-damping variant stalls, while Davidson's subspace method and the
+paper's automatically adjusted single-vector method both converge tightly -
+the latter storing only a single CI vector (no subspace), which is what made
+the 65-billion-determinant benchmark possible.
+
+Run:  python examples/diagonalization_methods.py
+"""
+
+from repro import FCISolver, Molecule
+
+
+def main() -> None:
+    mol = Molecule.from_atoms(
+        [("C", (0, 0, 0)), ("N", (0, 0, 2.2))], charge=1, name="CN+"
+    )
+    common = dict(
+        basis="sto-3g",
+        frozen_core=2,
+        point_group="C2v",
+        wavefunction_irrep="A1",
+        max_iterations=60,
+    )
+    reference = None
+    print("CN+ X1Sigma+ / STO-3G, frozen 1s cores, C2v symmetry (A1 block)\n")
+    for method in ["davidson", "auto", "olsen", "olsen-damped"]:
+        result = FCISolver(mol, method=method, **common).run()
+        if reference is None:
+            reference = result.energy
+        right_state = abs(result.energy - reference) < 1e-6
+        status = (
+            "converged"
+            if result.solve.converged and right_state
+            else "NOT CONVERGED (diverged or wrong state)"
+        )
+        print(f"{method:13s}: E = {result.energy:14.8f}  "
+              f"iters = {result.solve.n_iterations:3d}  {status}")
+        # show the first few residual norms: the divergence is visible
+        rn = ", ".join(f"{x:.1e}" for x in result.solve.residual_norms[:6])
+        print(f"{'':13s}  residual norms: {rn}, ...\n")
+
+    print("Paper Table 2 (at 105M determinants): Davidson 41, Olsen NC,")
+    print("Olsen(0.7) >>60, Auto 22 - the same ranking as above.")
+
+
+if __name__ == "__main__":
+    main()

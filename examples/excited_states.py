@@ -1,0 +1,39 @@
+"""Excited states with block Davidson: the CN+ singlet-triplet problem.
+
+The paper's Table-2 stress case CN+ is hard precisely because low-lying
+triplet states crowd the X1Sigma+ ground state in the Ms = 0 determinant
+space.  The multi-root extension resolves the lowest states at once and
+labels them by <S^2>, making the near-degeneracy that breaks the Olsen
+iteration directly visible.
+
+Run:  python examples/excited_states.py
+"""
+
+from repro import FCISolver, Molecule
+
+HARTREE_TO_EV = 27.211386
+
+
+def main() -> None:
+    mol = Molecule.from_atoms(
+        [("C", (0, 0, 0)), ("N", (0, 0, 2.2))], charge=1, name="CN+"
+    )
+    res = FCISolver(
+        mol, "sto-3g", frozen_core=2, model_space_size=80
+    ).run_multiroot(5)
+    print(f"CN+ / STO-3G (frozen cores): {res.problem.dimension} determinants, "
+          f"{res.n_iterations} block-Davidson iterations\n")
+    print(f"{'state':>5} | {'E (Eh)':>14} | {'dE (eV)':>8} | {'<S^2>':>6} | assignment")
+    print("-" * 58)
+    for i, (e, s2) in enumerate(zip(res.energies, res.s_squared)):
+        mult = {0.0: "singlet", 2.0: "triplet", 6.0: "quintet"}.get(round(s2, 1), "?")
+        de = (e - res.energies[0]) * HARTREE_TO_EV
+        print(f"{i:5d} | {e:14.8f} | {de:8.3f} | {s2:6.3f} | {mult}")
+    print("\nNote the triplets within ~1.5 eV of the singlet ground state -")
+    print("the near-degeneracy that defeats the plain Olsen single-vector")
+    print("iteration in Table 2 (and why the paper's auto-adjusted step and")
+    print("model-space preconditioner matter).")
+
+
+if __name__ == "__main__":
+    main()

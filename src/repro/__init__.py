@@ -1,0 +1,22 @@
+"""repro: a parallel-vector full-configuration-interaction package.
+
+Reproduction of Gan & Harrison, "Calibrating quantum chemistry: A
+multi-teraflop, parallel-vector, full-configuration interaction program for
+the Cray-X1" (SC 2005): the DGEMM-based sigma-vector algorithm, the
+automatically adjusted single-vector diagonalization method, and a simulated
+Cray-X1 parallel substrate (SHMEM/DDI, task-pool dynamic load balancing)
+that regenerates the paper's scaling studies.
+
+Quick start::
+
+    from repro import Molecule, FCISolver
+    mol = Molecule.from_atoms([("H", (0, 0, 0)), ("H", (0, 0, 1.4))])
+    print(FCISolver(mol, basis="sto-3g").run().energy)
+"""
+
+from .molecule import Molecule, PointGroup
+from .core import FCIResult, FCISolver, fci
+
+__version__ = "1.0.0"
+
+__all__ = ["Molecule", "PointGroup", "FCIResult", "FCISolver", "fci", "__version__"]

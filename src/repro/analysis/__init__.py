@@ -1,0 +1,5 @@
+"""Reporting utilities for the benchmark harness."""
+
+from .reporting import format_series, format_table, paper_comparison
+
+__all__ = ["format_series", "format_table", "paper_comparison"]

@@ -1,0 +1,67 @@
+"""Plain-text table/series formatting for the benchmark harness.
+
+The benchmark scripts print the same rows/series the paper reports; these
+helpers keep that output consistent and diff-friendly (no plotting
+dependencies - "figures" are printed as aligned series tables).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "paper_comparison"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: str = "",
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render an aligned ASCII table."""
+    srows = []
+    for row in rows:
+        srows.append(
+            [
+                float_fmt.format(c) if isinstance(c, float) else str(c)
+                for c in row
+            ]
+        )
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in srows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str = "",
+) -> str:
+    """Render figure data as a table: one x column plus one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [s[i] for s in series.values()])
+    return format_table(headers, rows, title=title)
+
+
+def paper_comparison(
+    rows: Iterable[tuple[str, float | str, float | str]],
+    *,
+    title: str = "paper vs measured",
+) -> str:
+    """Two-column comparison table (quantity, paper value, this repo)."""
+    return format_table(["quantity", "paper", "this repo"], rows, title=title)

@@ -1,0 +1,33 @@
+"""Gaussian basis sets (shells, tabulated data, even-tempered generator)."""
+
+from .shell import (
+    ANGULAR_LABELS,
+    BasisFunction,
+    BasisSet,
+    Shell,
+    cartesian_components,
+    n_cartesian,
+    primitive_norm,
+)
+from .data import (
+    ELEMENTS,
+    atomic_number,
+    available_basis_sets,
+    build_basis,
+    even_tempered_shells,
+)
+
+__all__ = [
+    "ANGULAR_LABELS",
+    "BasisFunction",
+    "BasisSet",
+    "Shell",
+    "cartesian_components",
+    "n_cartesian",
+    "primitive_norm",
+    "ELEMENTS",
+    "atomic_number",
+    "available_basis_sets",
+    "build_basis",
+    "even_tempered_shells",
+]

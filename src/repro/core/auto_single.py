@@ -1,0 +1,138 @@
+"""The paper's automatically adjusted single-vector diagonalization method.
+
+The new approximation is built with an adaptive step length (eq. 13),
+
+    C(n+1) = S(n) (C(n) + lambda(n) t(n)),
+
+where t(n) is the Olsen correction.  The optimal step would come from
+diagonalizing the 2x2 matrix in span{C(n), t(n)}, but its (t, H t) element
+cannot be formed without storing a second Hamiltonian product - exactly the
+memory/IO cost the method is designed to avoid.  The paper's device (eqs.
+14-15): at iteration n+1 the *already computed* energy E(n+1) reveals the
+missing element of iteration n,
+
+    <t|H|t> = ( E(n+1)/S^2 - E(n) - 2 lambda <C|H|t> ) / lambda^2,
+
+so the 2x2 problem of iteration n is diagonalized retroactively and its
+optimal mixing ratio becomes the step length of iteration n+1:
+lambda(n+1) = lambda_opt(n).  The first iteration uses a crude estimate
+<t|H0|t> from the preconditioner.
+
+Only C, sigma and scratch the size of one CI vector are alive at any time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+import scipy.linalg
+
+from .model_space import DiagonalPreconditioner
+from .olsen import SolveResult, olsen_correction
+
+__all__ = ["auto_adjusted_solve"]
+
+
+def _optimal_step(e_cc: float, e_ct: float, e_tt: float, t_norm2: float) -> float:
+    """Mixing ratio of the lowest root of the 2x2 pencil in span{C, t}.
+
+    Solves [[e_cc, e_ct], [e_ct, e_tt]] x = mu [[1, 0], [0, t_norm2]] x and
+    returns lambda = x_t / x_C for the lowest root mu.
+    """
+    A = np.array([[e_cc, e_ct], [e_ct, e_tt]])
+    B = np.array([[1.0, 0.0], [0.0, t_norm2]])
+    try:
+        evals, evecs = scipy.linalg.eigh(A, B)
+    except (np.linalg.LinAlgError, ValueError):
+        return 1.0
+    vec = evecs[:, 0]
+    if abs(vec[0]) < 1e-12:
+        return 1.0
+    return float(vec[1] / vec[0])
+
+
+def auto_adjusted_solve(
+    sigma_fn: Callable[[np.ndarray], np.ndarray],
+    guess: np.ndarray,
+    precond: DiagonalPreconditioner,
+    *,
+    energy_tol: float = 1e-10,
+    residual_tol: float = 1e-5,
+    max_iterations: int = 60,
+    max_step: float = 4.0,
+) -> SolveResult:
+    """Automatically adjusted single-vector iteration (paper section 2.2)."""
+    C = guess / np.linalg.norm(guess)
+    energies: list[float] = []
+    rnorms: list[float] = []
+    n_sigma = 0
+
+    prev: dict | None = None  # state of the previous iteration
+    lam = 1.0
+    e = 0.0
+    for it in range(1, max_iterations + 1):
+        sigma = sigma_fn(C)
+        n_sigma += 1
+        e = float(np.vdot(C, sigma))
+        rnorm = float(np.linalg.norm(sigma - e * C))
+        energies.append(e)
+        rnorms.append(rnorm)
+        if (
+            prev is not None
+            and abs(e - prev["energy"]) < energy_tol
+            and rnorm < residual_tol
+        ):
+            return SolveResult(
+                energy=e,
+                vector=C,
+                converged=True,
+                n_iterations=it,
+                n_sigma=n_sigma,
+                energies=energies,
+                residual_norms=rnorms,
+                method="auto",
+            )
+
+        t = olsen_correction(C, sigma, e, precond)
+        t_norm2 = float(np.vdot(t, t))
+        e_ct = float(np.vdot(sigma, t))  # <C|H|t>
+
+        if prev is None:
+            # crude first-iteration estimate: <t|H|t> ~ <t|H0|t>
+            e_tt = float(np.vdot(t, precond.apply_h0(t)))
+            lam = _optimal_step(e, e_ct, e_tt, max(t_norm2, 1e-300))
+        else:
+            # eq. 14: recover <t|H|t> of the *previous* iteration from the
+            # current energy, then eq. 15: lambda(n+1) = lambda_opt(n).
+            lp = prev["lambda"]
+            s2 = prev["s2"]  # S^2 of the previous normalization
+            e_tt_prev = (e / s2 - prev["energy"] - 2.0 * lp * prev["e_ct"]) / (lp * lp)
+            lam = _optimal_step(
+                prev["energy"], prev["e_ct"], e_tt_prev, prev["t_norm2"]
+            )
+        if not np.isfinite(lam) or lam == 0.0:
+            lam = 1.0
+        lam = float(np.clip(lam, -max_step, max_step))
+
+        new = C + lam * t
+        nrm2 = 1.0 + lam * lam * t_norm2  # <C|t> = 0
+        prev = {
+            "energy": e,
+            "e_ct": e_ct,
+            "t_norm2": t_norm2,
+            "lambda": lam,
+            "s2": 1.0 / nrm2,
+        }
+        C = new / np.sqrt(nrm2)
+
+    return SolveResult(
+        energy=e,
+        vector=C,
+        converged=False,
+        n_iterations=max_iterations,
+        n_sigma=n_sigma,
+        energies=energies,
+        residual_norms=rnorms,
+        method="auto",
+    )

@@ -1,0 +1,213 @@
+"""Excitation tables: the coupling-coefficient machinery of the FCI kernels.
+
+Two tables are built per string space:
+
+* :class:`SingleExcitationTable` - all non-vanishing E_pq = a+_p a_q actions,
+  including the diagonal p = q.  This is the "B" coefficient matrix of the
+  paper's mixed-spin routine (eq. 4) and also drives the one-electron term.
+* :class:`DoubleAnnihilationTable` - all non-vanishing a_s a_q (q > s)
+  actions mapping k-electron strings to the (k-2)-electron intermediate
+  space.  These are the "A"/"B" coupling matrices of the same-spin routine
+  (eqs. 7-9); the same table serves the gather (annihilation) and the
+  scatter (creation, read backwards) steps.
+
+Sign conventions: orbitals are ordered ascending in the creation-operator
+product defining a string, |J> = a+_{o_0} a+_{o_1} ... |vac> with
+o_0 < o_1 < ...; the sign of a_q |J> is (-1)^(number of occupied orbitals
+below q).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .strings import StringSpace
+
+__all__ = [
+    "SingleExcitationTable",
+    "DoubleAnnihilationTable",
+    "SingleAnnihilationTable",
+]
+
+
+def _popcount_below(mask: int, orb: int) -> int:
+    return bin(mask & ((1 << orb) - 1)).count("1")
+
+
+class SingleExcitationTable:
+    """All (J, I, p, q, sign) with a+_p a_q |J> = sign |I>.
+
+    Stored as flat int arrays (``source``, ``target``, ``p``, ``q``,
+    ``sign``), plus a CSR-style grouping by the (p, q) pair for kernels that
+    iterate orbital pairs (the MOC mixed-spin routine).
+    """
+
+    def __init__(self, space: StringSpace):
+        self.space = space
+        n, k = space.n, space.k
+        nstr = space.size
+        cap = nstr * (k * (n - k) + k) if k else 0
+        source = np.empty(cap, dtype=np.int64)
+        target = np.empty(cap, dtype=np.int64)
+        pp = np.empty(cap, dtype=np.int64)
+        qq = np.empty(cap, dtype=np.int64)
+        sg = np.empty(cap, dtype=np.int8)
+        idx = 0
+        index = space._index
+        masks = space.masks
+        occs = space.occupations
+        for j in range(nstr):
+            mask = int(masks[j])
+            occ = occs[j]
+            for q in occ:
+                q = int(q)
+                m1 = mask & ~(1 << q)
+                s1 = -1 if _popcount_below(mask, q) & 1 else 1
+                for p in range(n):
+                    if m1 & (1 << p):
+                        continue
+                    m2 = m1 | (1 << p)
+                    s2 = -1 if _popcount_below(m1, p) & 1 else 1
+                    source[idx] = j
+                    target[idx] = index[m2]
+                    pp[idx] = p
+                    qq[idx] = q
+                    sg[idx] = s1 * s2
+                    idx += 1
+        self.source = source[:idx]
+        self.target = target[:idx]
+        self.p = pp[:idx]
+        self.q = qq[:idx]
+        self.sign = sg[:idx]
+        self.n_entries = idx
+        # group rows by (p, q)
+        key = self.p * n + self.q
+        order = np.argsort(key, kind="stable")
+        self._order = order
+        sorted_key = key[order]
+        boundaries = np.searchsorted(sorted_key, np.arange(n * n + 1))
+        self._pq_start = boundaries
+
+    def rows_for_pq(self, p: int, q: int) -> np.ndarray:
+        """Row indices (into the flat arrays) of all entries with this (p, q)."""
+        n = self.space.n
+        key = p * n + q
+        lo, hi = self._pq_start[key], self._pq_start[key + 1]
+        return self._order[lo:hi]
+
+    def as_dense_operator(self, p: int, q: int) -> np.ndarray:
+        """Dense matrix of E_pq in this string space (testing aid)."""
+        nstr = self.space.size
+        M = np.zeros((nstr, nstr))
+        rows = self.rows_for_pq(p, q)
+        M[self.target[rows], self.source[rows]] = self.sign[rows]
+        return M
+
+
+class SingleAnnihilationTable:
+    """All (J, K, p, sign) with a_p |J> = sign |K>, grouped by orbital p.
+
+    K lives in the (k-1)-electron space.  Read backwards the same table gives
+    the creation map <J| a+_p |K> = sign.  Used by the spin-flip operators
+    (S+/S-) and the N-1-electron intermediate bookkeeping of the trace-mode
+    cost model.
+    """
+
+    def __init__(self, space: StringSpace, reduced_space: StringSpace | None = None):
+        if space.k < 1:
+            raise ValueError("annihilation needs at least one electron")
+        self.space = space
+        self.reduced_space = reduced_space or StringSpace(space.n, space.k - 1)
+        if self.reduced_space.n != space.n or self.reduced_space.k != space.k - 1:
+            raise ValueError("reduced space does not match")
+        nstr, k, n = space.size, space.k, space.n
+        source = np.empty(nstr * k, dtype=np.int64)
+        target = np.empty(nstr * k, dtype=np.int64)
+        orb = np.empty(nstr * k, dtype=np.int64)
+        sg = np.empty(nstr * k, dtype=np.int8)
+        idx = 0
+        rindex = self.reduced_space._index
+        for j in range(nstr):
+            mask = int(space.masks[j])
+            for p in space.occupations[j]:
+                p = int(p)
+                source[idx] = j
+                target[idx] = rindex[mask & ~(1 << p)]
+                orb[idx] = p
+                sg[idx] = -1 if _popcount_below(mask, p) & 1 else 1
+                idx += 1
+        self.source = source
+        self.target = target
+        self.orb = orb
+        self.sign = sg
+        self.n_entries = idx
+        order = np.argsort(orb, kind="stable")
+        self._order = order
+        bounds = np.searchsorted(orb[order], np.arange(n + 1))
+        self._orb_start = bounds
+
+    def rows_for_orbital(self, p: int) -> np.ndarray:
+        lo, hi = self._orb_start[p], self._orb_start[p + 1]
+        return self._order[lo:hi]
+
+
+class DoubleAnnihilationTable:
+    """All (J, K, q, s, sign) with a_s a_q |J> = sign |K>, for q > s.
+
+    K lives in the (k-2)-electron intermediate space (attribute
+    ``reduced_space``).  Pair index ``pair`` enumerates (q, s) with q > s as
+    pair = q(q-1)/2 + s, matching the packed triangular layout of the
+    antisymmetrized integral matrix W used by the same-spin DGEMM kernel.
+    """
+
+    def __init__(self, space: StringSpace, reduced_space: StringSpace | None = None):
+        if space.k < 2:
+            raise ValueError("double annihilation needs at least two electrons")
+        self.space = space
+        self.reduced_space = reduced_space or StringSpace(space.n, space.k - 2)
+        if self.reduced_space.n != space.n or self.reduced_space.k != space.k - 2:
+            raise ValueError("reduced space does not match")
+        nstr = space.size
+        k = space.k
+        npairs_per_string = k * (k - 1) // 2
+        cap = nstr * npairs_per_string
+        source = np.empty(cap, dtype=np.int64)
+        target = np.empty(cap, dtype=np.int64)
+        qq = np.empty(cap, dtype=np.int64)
+        ss = np.empty(cap, dtype=np.int64)
+        sg = np.empty(cap, dtype=np.int8)
+        pair = np.empty(cap, dtype=np.int64)
+        idx = 0
+        rindex = self.reduced_space._index
+        masks = space.masks
+        occs = space.occupations
+        for j in range(nstr):
+            mask = int(masks[j])
+            occ = occs[j]
+            for bq in range(k):
+                q = int(occ[bq])
+                s1 = -1 if _popcount_below(mask, q) & 1 else 1
+                m1 = mask & ~(1 << q)
+                for bs in range(bq):
+                    s = int(occ[bs])  # s < q
+                    s2 = -1 if _popcount_below(m1, s) & 1 else 1
+                    m2 = m1 & ~(1 << s)
+                    source[idx] = j
+                    target[idx] = rindex[m2]
+                    qq[idx] = q
+                    ss[idx] = s
+                    sg[idx] = s1 * s2
+                    pair[idx] = q * (q - 1) // 2 + s
+                    idx += 1
+        self.source = source[:idx]
+        self.target = target[:idx]
+        self.q = qq[:idx]
+        self.s = ss[:idx]
+        self.sign = sg[:idx]
+        self.pair = pair[:idx]
+        self.n_entries = idx
+
+    @property
+    def n_pairs(self) -> int:
+        n = self.space.n
+        return n * (n - 1) // 2

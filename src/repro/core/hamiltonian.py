@@ -1,0 +1,189 @@
+"""Slater-Condon matrix elements, dense Hamiltonian builds, and diagonals.
+
+The dense build is the *independent* validation reference for the sigma
+kernels: it computes every <I|H|J> element directly from the Slater-Condon
+rules on bitmask determinants, with signs obtained by explicit sequential
+application of second-quantized operators.  The matrix-free kernels in
+``sigma_moc``/``sigma_dgemm`` must agree with it to machine precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..scf.mo import MOIntegrals
+from .strings import StringSpace
+
+__all__ = [
+    "apply_annihilation",
+    "apply_creation",
+    "det_matrix_element",
+    "build_dense_hamiltonian",
+    "hamiltonian_diagonal",
+]
+
+
+def _popcount_below(mask: int, orb: int) -> int:
+    return bin(mask & ((1 << orb) - 1)).count("1")
+
+
+def apply_annihilation(mask: int, orb: int) -> tuple[int, int]:
+    """Apply a_orb; returns (new_mask, sign) with sign 0 if vanishing."""
+    bit = 1 << orb
+    if not mask & bit:
+        return mask, 0
+    sign = -1 if _popcount_below(mask, orb) & 1 else 1
+    return mask & ~bit, sign
+
+
+def apply_creation(mask: int, orb: int) -> tuple[int, int]:
+    """Apply a+_orb; returns (new_mask, sign) with sign 0 if vanishing."""
+    bit = 1 << orb
+    if mask & bit:
+        return mask, 0
+    sign = -1 if _popcount_below(mask, orb) & 1 else 1
+    return mask | bit, sign
+
+
+def _occ_list(mask: int) -> list[int]:
+    out = []
+    p = 0
+    while mask:
+        if mask & 1:
+            out.append(p)
+        mask >>= 1
+        p += 1
+    return out
+
+
+def _single_sign(bra: int, ket: int, p: int, h: int) -> int:
+    """Sign of <bra| a+_p a_h |ket> (assumed non-zero)."""
+    m, s1 = apply_annihilation(ket, h)
+    m, s2 = apply_creation(m, p)
+    assert m == bra
+    return s1 * s2
+
+
+def det_matrix_element(
+    mo: MOIntegrals, ia: int, ib: int, ja: int, jb: int
+) -> float:
+    """<(ia, ib)| H |(ja, jb)> for determinant bitmask pairs (no e_core)."""
+    h, g = mo.h, mo.g
+    da = bin(ia ^ ja).count("1") // 2
+    db = bin(ib ^ jb).count("1") // 2
+    n_diff = da + db
+    if n_diff > 2:
+        return 0.0
+
+    if n_diff == 0:
+        occ_a = _occ_list(ia)
+        occ_b = _occ_list(ib)
+        val = sum(h[p, p] for p in occ_a) + sum(h[p, p] for p in occ_b)
+        for i, p in enumerate(occ_a):
+            for q in occ_a[:i]:
+                val += g[p, p, q, q] - g[p, q, q, p]
+        for i, p in enumerate(occ_b):
+            for q in occ_b[:i]:
+                val += g[p, p, q, q] - g[p, q, q, p]
+        for p in occ_a:
+            for q in occ_b:
+                val += g[p, p, q, q]
+        return float(val)
+
+    if n_diff == 1:
+        if da == 1:
+            same, same_j, other_occ = ia, ja, _occ_list(ib)
+        else:
+            same, same_j, other_occ = ib, jb, _occ_list(ia)
+        hole = _occ_list(same_j & ~same)[0]
+        part = _occ_list(same & ~same_j)[0]
+        sign = _single_sign(same, same_j, part, hole)
+        occ_same = _occ_list(same_j)
+        val = h[part, hole]
+        for k in occ_same:
+            if k == hole:
+                continue
+            val += g[part, hole, k, k] - g[part, k, k, hole]
+        for k in other_occ:
+            val += g[part, hole, k, k]
+        return float(sign * val)
+
+    # n_diff == 2
+    if da == 2 or db == 2:
+        bra, ket = (ia, ja) if da == 2 else (ib, jb)
+        holes = _occ_list(ket & ~bra)
+        parts = _occ_list(bra & ~ket)
+        h1, h2 = holes
+        p1, p2 = parts
+        m, s1 = apply_annihilation(ket, h1)
+        m, s2 = apply_annihilation(m, h2)
+        m, s3 = apply_creation(m, p2)
+        m, s4 = apply_creation(m, p1)
+        assert m == bra
+        sign = s1 * s2 * s3 * s4
+        return float(sign * (g[p1, h1, p2, h2] - g[p1, h2, p2, h1]))
+
+    # one alpha single, one beta single
+    hole_a = _occ_list(ja & ~ia)[0]
+    part_a = _occ_list(ia & ~ja)[0]
+    hole_b = _occ_list(jb & ~ib)[0]
+    part_b = _occ_list(ib & ~jb)[0]
+    sa = _single_sign(ia, ja, part_a, hole_a)
+    sb = _single_sign(ib, jb, part_b, hole_b)
+    return float(sa * sb * g[part_a, hole_a, part_b, hole_b])
+
+
+def build_dense_hamiltonian(
+    mo: MOIntegrals, space_a: StringSpace, space_b: StringSpace
+) -> np.ndarray:
+    """Dense H over the full determinant grid, row index = ia * nb + ib.
+
+    Validation-only: dimensions beyond a few thousand will be slow/large.
+    """
+    na, nb = space_a.size, space_b.size
+    dim = na * nb
+    H = np.zeros((dim, dim))
+    ma, mb = space_a.masks, space_b.masks
+    for ia in range(na):
+        for ib in range(nb):
+            row = ia * nb + ib
+            for ja in range(na):
+                dalpha = bin(int(ma[ia]) ^ int(ma[ja])).count("1")
+                if dalpha > 4:
+                    continue
+                for jb in range(nb):
+                    col = ja * nb + jb
+                    if col > row:
+                        continue
+                    val = det_matrix_element(
+                        mo, int(ma[ia]), int(mb[ib]), int(ma[ja]), int(mb[jb])
+                    )
+                    H[row, col] = val
+                    H[col, row] = val
+    return H
+
+
+def hamiltonian_diagonal(
+    mo: MOIntegrals, space_a: StringSpace, space_b: StringSpace
+) -> np.ndarray:
+    """Diagonal <I|H|I> for all determinants, shape (na, nb) (no e_core).
+
+    Vectorized through occupancy matrices:
+
+        diag(Ia, Ib) = 1a.hdiag + 1b.hdiag
+                     + 1/2 1a.(J-K).1a + 1/2 1b.(J-K).1b + 1a.J.1b
+
+    where J_pq = (pp|qq), K_pq = (pq|qp) and 1a/1b are occupancy vectors.
+    """
+    hdiag = np.diag(mo.h)
+    Jm = np.einsum("ppqq->pq", mo.g)
+    Km = np.einsum("pqqp->pq", mo.g)
+    Oa = space_a.occupancy_matrix()
+    Ob = space_b.occupancy_matrix()
+    one_body = (Oa @ hdiag)[:, None] + (Ob @ hdiag)[None, :]
+    JK = Jm - Km
+    same_a = 0.5 * np.einsum("ip,pq,iq->i", Oa, JK, Oa, optimize=True)
+    same_b = 0.5 * np.einsum("ip,pq,iq->i", Ob, JK, Ob, optimize=True)
+    # the p = q self-terms cancel in J - K exactly, so no correction needed
+    cross = Oa @ Jm @ Ob.T
+    return one_body + same_a[:, None] + same_b[None, :] + cross

@@ -1,0 +1,121 @@
+"""Olsen's single-vector correction and iteration (paper eqs. 11-12).
+
+The correction vector for approximate eigenpair (E, C) is
+
+    t = -(H0 - E~)^-1 (H - E~) C,   E~ = E + Delta,
+
+where Delta (the first-order eigenvalue correction, paper eq. 12) is chosen
+so that <C|t> = 0:
+
+    Delta = <C| (H0-E)^-1 (H-E) |C> / <C| (H0-E)^-1 |C>.
+
+``olsen_solve`` implements the plain single-vector iteration
+C <- normalize(C + lambda t); the original scheme uses lambda = 1 and, as the
+paper's Table 2 shows, frequently fails to converge tightly; the "modified"
+scheme damps with a fixed lambda (0.7 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .model_space import DiagonalPreconditioner
+
+__all__ = ["olsen_correction", "olsen_solve", "SolveResult"]
+
+
+def olsen_correction(
+    C: np.ndarray,
+    sigma: np.ndarray,
+    energy: float,
+    precond: DiagonalPreconditioner,
+) -> np.ndarray:
+    """Olsen correction vector, orthogonal to C by construction."""
+    residual = sigma - energy * C
+    x_r = precond.solve(residual, energy)
+    x_c = precond.solve(C, energy)
+    denom = float(np.vdot(C, x_c))
+    if abs(denom) < 1e-300:
+        return -x_r
+    delta = float(np.vdot(C, x_r)) / denom
+    return -x_r + delta * x_c
+
+
+@dataclass
+class SolveResult:
+    """Outcome of an iterative eigensolve."""
+
+    energy: float
+    vector: np.ndarray
+    converged: bool
+    n_iterations: int
+    n_sigma: int
+    energies: list[float] = field(default_factory=list)
+    residual_norms: list[float] = field(default_factory=list)
+    method: str = ""
+
+    def __repr__(self) -> str:
+        tag = "converged" if self.converged else "NOT converged"
+        return (
+            f"SolveResult({self.method}: E={self.energy:.10f}, "
+            f"{self.n_iterations} iterations, {tag})"
+        )
+
+
+def olsen_solve(
+    sigma_fn: Callable[[np.ndarray], np.ndarray],
+    guess: np.ndarray,
+    precond: DiagonalPreconditioner,
+    *,
+    step: float = 1.0,
+    energy_tol: float = 1e-10,
+    residual_tol: float = 1e-5,
+    max_iterations: int = 60,
+) -> SolveResult:
+    """Single-vector Olsen iteration with fixed mixing step ``step``.
+
+    step=1.0 reproduces the original Olsen scheme; step=0.7 the paper's
+    "modified" damped variant.  Convergence requires *both* the energy change
+    below ``energy_tol`` and the residual norm below ``residual_tol``
+    (matching the paper's tightly-converged criterion).
+    """
+    C = guess / np.linalg.norm(guess)
+    energies: list[float] = []
+    rnorms: list[float] = []
+    prev_e = np.inf
+    n_sigma = 0
+    for it in range(1, max_iterations + 1):
+        sigma = sigma_fn(C)
+        n_sigma += 1
+        e = float(np.vdot(C, sigma))
+        rnorm = float(np.linalg.norm(sigma - e * C))
+        energies.append(e)
+        rnorms.append(rnorm)
+        if abs(e - prev_e) < energy_tol and rnorm < residual_tol:
+            return SolveResult(
+                energy=e,
+                vector=C,
+                converged=True,
+                n_iterations=it,
+                n_sigma=n_sigma,
+                energies=energies,
+                residual_norms=rnorms,
+                method=f"olsen(step={step})",
+            )
+        prev_e = e
+        t = olsen_correction(C, sigma, e, precond)
+        C = C + step * t
+        C /= np.linalg.norm(C)
+    return SolveResult(
+        energy=energies[-1],
+        vector=C,
+        converged=False,
+        n_iterations=max_iterations,
+        n_sigma=n_sigma,
+        energies=energies,
+        residual_norms=rnorms,
+        method=f"olsen(step={step})",
+    )

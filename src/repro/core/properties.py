@@ -1,0 +1,44 @@
+"""Molecular properties from CI wavefunctions (dipole moments)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..integrals.multipole import dipole as dipole_integrals
+from ..molecule.geometry import Molecule
+from .problem import CIProblem
+from .rdm import one_rdm
+
+__all__ = ["dipole_moment"]
+
+
+def dipole_moment(
+    mol: Molecule,
+    basis_name: str,
+    mo_coeff: np.ndarray,
+    problem: CIProblem,
+    ci_vector: np.ndarray,
+    n_frozen: int = 0,
+) -> np.ndarray:
+    """Dipole moment vector (atomic units) of a CI state.
+
+    mu = sum_A Z_A R_A - [ 2 sum_core d_ii + tr(gamma_active d_active) ]
+
+    where d are MO-basis dipole integrals; ``mo_coeff`` must be the same
+    orbitals the CI problem was built in (before frozen-core slicing).
+    """
+    basis = mol.basis(basis_name)
+    d_ao = dipole_integrals(basis)
+    C = np.asarray(mo_coeff)
+    d_mo = np.einsum("cmn,mp,nq->cpq", d_ao, C, C, optimize=True)
+
+    gamma = one_rdm(problem, ci_vector) / float(np.vdot(ci_vector, ci_vector))
+    a = slice(n_frozen, n_frozen + problem.n)
+    electronic = np.einsum("cpq,pq->c", d_mo[:, a, a], gamma)
+    if n_frozen:
+        f = slice(0, n_frozen)
+        electronic = electronic + 2.0 * np.einsum("cii->c", d_mo[:, f, f])
+    nuclear = np.zeros(3)
+    for z, pos in mol.charges():
+        nuclear += z * np.asarray(pos)
+    return nuclear - electronic

@@ -1,0 +1,31 @@
+"""Reduced density matrices of CI vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .problem import CIProblem
+
+__all__ = ["one_rdm", "natural_orbitals"]
+
+
+def one_rdm(problem: CIProblem, C: np.ndarray) -> np.ndarray:
+    """Spin-traced one-particle density matrix gamma_pq = <C|E_pq|C>."""
+    n = problem.n
+    gamma = np.zeros((n, n))
+    for table, mat in ((problem.singles_a, C), (problem.singles_b, C.T)):
+        # <C|E_pq|C> = sum_entries sign * <C_target, C_source> over the other
+        # spin's dimension
+        dots = np.einsum(
+            "em,em->e", mat[table.target, :], mat[table.source, :], optimize=True
+        )
+        np.add.at(gamma, (table.p, table.q), table.sign * dots)
+    return gamma
+
+
+def natural_orbitals(problem: CIProblem, C: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Natural occupation numbers (descending) and orbitals from the 1-RDM."""
+    gamma = one_rdm(problem, C)
+    occ, vecs = np.linalg.eigh(0.5 * (gamma + gamma.T))
+    order = np.argsort(occ)[::-1]
+    return occ[order], vecs[:, order]

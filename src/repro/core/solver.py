@@ -1,0 +1,324 @@
+"""High-level FCI driver: molecule -> SCF -> MO integrals -> eigen solve.
+
+This is the main user-facing entry point of the library:
+
+    from repro import Molecule, FCISolver
+    mol = Molecule.from_atoms([("H", (0, 0, 0)), ("H", (0, 0, 1.4))])
+    result = FCISolver(mol, basis="sto-3g").run()
+    print(result.energy)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..molecule.geometry import Molecule
+from ..molecule.symmetry import PointGroup, ao_representation, assign_orbital_irreps
+from ..scf.mo import MOIntegrals, freeze_core, transform
+from ..scf.rhf import AOIntegrals, SCFResult, compute_ao_integrals, rhf
+from ..scf.rohf import rohf
+from .auto_single import auto_adjusted_solve
+from .davidson import davidson_solve
+from .model_space import DiagonalPreconditioner, ModelSpacePreconditioner
+from .olsen import SolveResult, olsen_solve
+from .problem import CIProblem
+from .sigma_dgemm import sigma_dgemm
+from .sigma_moc import sigma_moc
+from .spin import SpinOperator
+from .strings import string_irrep
+
+__all__ = ["FCISolver", "FCIResult", "MultiRootFCIResult", "fci"]
+
+_METHODS = ("auto", "davidson", "olsen", "olsen-damped")
+_ALGORITHMS = ("dgemm", "moc")
+
+
+@dataclass
+class FCIResult:
+    """Complete outcome of an FCI calculation."""
+
+    energy: float  # total energy (electronic + core/nuclear)
+    scf_energy: float
+    correlation_energy: float
+    vector: np.ndarray
+    problem: CIProblem
+    solve: SolveResult
+    scf: SCFResult
+    mo: MOIntegrals
+    n_sigma: int
+    s_squared: float
+
+    def __repr__(self) -> str:
+        return (
+            f"FCIResult(E={self.energy:.10f}, Ecorr={self.correlation_energy:.8f}, "
+            f"dim={self.problem.dimension}, iters={self.solve.n_iterations})"
+        )
+
+
+class FCISolver:
+    """Configurable FCI calculation on a molecule.
+
+    Parameters
+    ----------
+    mol:
+        Molecule (defines electron count and spin through its multiplicity).
+    basis:
+        Basis-set name understood by :func:`repro.basis.build_basis`.
+    frozen_core:
+        Number of frozen doubly-occupied orbitals, or "auto" (one 1s core per
+        non-hydrogen/helium atom).
+    point_group:
+        Optional abelian point group name; enables symmetry blocking.
+    wavefunction_irrep:
+        Target irrep name (requires point_group); default = irrep of the SCF
+        determinant.
+    algorithm:
+        "dgemm" (the paper's algorithm) or "moc" (baseline).
+    method:
+        "auto" (paper's automatically adjusted single-vector method),
+        "davidson", "olsen", or "olsen-damped".
+    """
+
+    def __init__(
+        self,
+        mol: Molecule,
+        basis: str = "sto-3g",
+        *,
+        frozen_core: int | str = 0,
+        n_active: int | None = None,
+        point_group: str | None = None,
+        wavefunction_irrep: str | None = None,
+        algorithm: str = "dgemm",
+        method: str = "auto",
+        model_space_size: int = 50,
+        spin_penalty: float = 0.0,
+        olsen_step: float = 0.7,
+        energy_tol: float = 1e-10,
+        residual_tol: float = 1e-5,
+        max_iterations: int = 60,
+        ao_integrals: AOIntegrals | None = None,
+        scf_result: SCFResult | None = None,
+    ):
+        if algorithm not in _ALGORITHMS:
+            raise ValueError(f"algorithm must be one of {_ALGORITHMS}")
+        if method not in _METHODS:
+            raise ValueError(f"method must be one of {_METHODS}")
+        self.mol = mol
+        self.basis = basis
+        self.frozen_core = frozen_core
+        self.n_active = n_active
+        self.point_group = point_group
+        self.wavefunction_irrep = wavefunction_irrep
+        self.algorithm = algorithm
+        self.method = method
+        self.model_space_size = model_space_size
+        self.spin_penalty = float(spin_penalty)
+        self.olsen_step = olsen_step
+        self.energy_tol = energy_tol
+        self.residual_tol = residual_tol
+        self.max_iterations = max_iterations
+        self._ao = ao_integrals
+        self._scf = scf_result
+
+    # -- pipeline pieces ---------------------------------------------------
+    def _n_frozen(self) -> int:
+        if self.frozen_core == "auto":
+            return sum(1 for a in self.mol.atoms if a.Z > 2)
+        return int(self.frozen_core)
+
+    def build_problem(self) -> tuple[CIProblem, SCFResult, MOIntegrals]:
+        """Run SCF, transform integrals, and build the CI problem."""
+        if self._ao is None:
+            self._ao = compute_ao_integrals(self.mol, self.basis)
+        ao = self._ao
+
+        group = None
+        sym_ops = None
+        if self.point_group is not None:
+            group = PointGroup.get(self.point_group)
+            bas = self.mol.basis(self.basis)
+            sym_ops = [
+                ao_representation(bas, self.mol.coordinates(), g) for g in group.ops
+            ]
+
+        if self._scf is None:
+            if self.mol.multiplicity == 1:
+                self._scf = rhf(self.mol, ao, symmetry_ops=sym_ops)
+            else:
+                self._scf = rohf(self.mol, ao, symmetry_ops=sym_ops)
+        scf = self._scf
+        if not scf.converged:
+            raise RuntimeError("SCF did not converge; cannot define orbitals")
+
+        orbital_irreps = None
+        product_table = None
+        target = None
+        C_mo = scf.mo_coeff
+        if group is not None:
+            C_mo, orbital_irreps = assign_orbital_irreps(
+                group,
+                bas,
+                self.mol.coordinates(),
+                scf.mo_coeff,
+                ao.S,
+                scf.mo_energy,
+            )
+            product_table = group.product_table()
+            if self.wavefunction_irrep is not None:
+                target = group.irrep_id(self.wavefunction_irrep)
+            else:
+                # irrep of the SCF determinant: doubly-occupied orbitals
+                # contribute trivially; singly occupied ones multiply up.
+                na, nb = scf.n_alpha, scf.n_beta
+                open_orbs = list(range(nb, na))
+                target = string_irrep(open_orbs, orbital_irreps, product_table)
+
+        mo = transform(ao, C_mo, orbital_irreps)
+        nf = self._n_frozen()
+        if nf or self.n_active is not None:
+            if nf > self.mol.n_beta:
+                raise ValueError("cannot freeze more orbitals than beta electrons")
+            if self.n_active is not None and self.n_active < self.mol.n_alpha - nf:
+                raise ValueError("active space too small for the electrons")
+            mo = freeze_core(mo, nf, self.n_active)
+        problem = CIProblem(
+            mo,
+            self.mol.n_alpha - nf,
+            self.mol.n_beta - nf,
+            target_irrep=target,
+            product_table=product_table,
+        )
+        return problem, scf, mo
+
+    def run(self) -> FCIResult:
+        """Execute the full pipeline and return the converged result."""
+        problem, scf, mo = self.build_problem()
+        sigma_raw = sigma_dgemm if self.algorithm == "dgemm" else sigma_moc
+        n_calls = [0]
+        spin_op = SpinOperator(problem)
+        s_target = 0.5 * (self.mol.multiplicity - 1)
+        s2_target = s_target * (s_target + 1.0)
+
+        def sigma_fn(C: np.ndarray) -> np.ndarray:
+            n_calls[0] += 1
+            out = sigma_raw(problem, C)
+            if self.spin_penalty:
+                out = out + self.spin_penalty * (
+                    spin_op.apply_s2(C) - s2_target * C
+                )
+            if problem.symmetry_mask is not None:
+                out = problem.project_symmetry(out)
+            return out
+
+        if self.model_space_size > 0:
+            precond: DiagonalPreconditioner = ModelSpacePreconditioner(
+                problem, self.model_space_size
+            )
+            guess = precond.ground_state_guess()
+        else:
+            precond = DiagonalPreconditioner(problem)
+            flat = np.zeros(problem.dimension)
+            diag = problem.diagonal.ravel().copy()
+            mask = problem.symmetry_mask
+            if mask is not None:
+                diag = np.where(mask.ravel(), diag, np.inf)
+            flat[int(np.argmin(diag))] = 1.0
+            guess = flat.reshape(problem.shape)
+
+        kwargs = dict(
+            energy_tol=self.energy_tol,
+            residual_tol=self.residual_tol,
+            max_iterations=self.max_iterations,
+        )
+        if self.method == "davidson":
+            solve = davidson_solve(sigma_fn, guess, precond, **kwargs)
+        elif self.method == "auto":
+            solve = auto_adjusted_solve(sigma_fn, guess, precond, **kwargs)
+        elif self.method == "olsen":
+            solve = olsen_solve(sigma_fn, guess, precond, step=1.0, **kwargs)
+        else:  # olsen-damped
+            solve = olsen_solve(
+                sigma_fn, guess, precond, step=self.olsen_step, **kwargs
+            )
+
+        total = solve.energy + mo.e_core
+        return FCIResult(
+            energy=total,
+            scf_energy=scf.energy,
+            correlation_energy=total - scf.energy,
+            vector=solve.vector,
+            problem=problem,
+            solve=solve,
+            scf=scf,
+            mo=mo,
+            n_sigma=n_calls[0],
+            s_squared=spin_op.expectation(solve.vector),
+        )
+
+
+    def run_multiroot(self, n_roots: int) -> "MultiRootFCIResult":
+        """Solve for the ``n_roots`` lowest states with block Davidson."""
+        from .multiroot import davidson_multiroot
+
+        problem, scf, mo = self.build_problem()
+        spin_op = SpinOperator(problem)
+        sigma_raw = sigma_dgemm if self.algorithm == "dgemm" else sigma_moc
+
+        def sigma_fn(C: np.ndarray) -> np.ndarray:
+            out = sigma_raw(problem, C)
+            if problem.symmetry_mask is not None:
+                out = problem.project_symmetry(out)
+            return out
+
+        size = max(self.model_space_size, 4 * n_roots)
+        precond = ModelSpacePreconditioner(problem, size)
+        evals, evecs = np.linalg.eigh(precond.h_model)
+        guesses = []
+        for i in range(min(2 * n_roots, precond.size)):
+            g = np.zeros(problem.dimension)
+            g[precond.selection] = evecs[:, i]
+            guesses.append(g.reshape(problem.shape))
+        res = davidson_multiroot(
+            sigma_fn,
+            guesses,
+            precond,
+            n_roots=n_roots,
+            energy_tol=self.energy_tol,
+            residual_tol=self.residual_tol,
+            max_iterations=self.max_iterations,
+        )
+        return MultiRootFCIResult(
+            energies=res.energies + mo.e_core,
+            vectors=res.vectors,
+            s_squared=np.array([spin_op.expectation(v) for v in res.vectors]),
+            converged=res.converged,
+            n_iterations=res.n_iterations,
+            problem=problem,
+            scf=scf,
+            mo=mo,
+        )
+
+
+@dataclass
+class MultiRootFCIResult:
+    """Several lowest FCI states of one molecule."""
+
+    energies: np.ndarray
+    vectors: list[np.ndarray]
+    s_squared: np.ndarray
+    converged: bool
+    n_iterations: int
+    problem: CIProblem
+    scf: SCFResult
+    mo: MOIntegrals
+
+    def excitation_energies(self) -> np.ndarray:
+        """Vertical excitation energies (Hartree) relative to the lowest root."""
+        return self.energies - self.energies[0]
+
+
+def fci(mol: Molecule, basis: str = "sto-3g", **kwargs) -> FCIResult:
+    """One-call FCI: ``fci(mol, "sto-3g", method="davidson")``."""
+    return FCISolver(mol, basis, **kwargs).run()

@@ -1,0 +1,116 @@
+"""Spin operators on CI vectors: S+, S-, S^2 application and expectation.
+
+S^2 = S_- S_+ + S_z (S_z + 1) with S_+ = sum_p a+_{p,alpha} a_{p,beta}.
+Exact FCI eigenstates are spin eigenfunctions, which the test suite uses as
+an invariant of the whole stack; ``apply_s2`` additionally enables a
+level-shift spin penalty H + J (S^2 - S(S+1)) for targeting a specific spin
+state in an Ms-degenerate spectrum (an extension beyond the paper, used by
+the Table-2 benchmark to follow the singlet in CN+).
+
+All maps are assembled from per-orbital single-annihilation tables and
+applied as blocked fancy-index operations - no per-determinant Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .excitations import SingleAnnihilationTable
+from .problem import CIProblem
+from .strings import StringSpace
+
+__all__ = ["SpinOperator", "s_plus", "s_squared", "apply_s2"]
+
+
+class SpinOperator:
+    """Cached spin-flip tables for one CIProblem."""
+
+    def __init__(self, problem: CIProblem):
+        self.problem = problem
+        n = problem.n
+        na, nb = problem.n_alpha, problem.n_beta
+        self.trivial = nb == 0 or na == n
+        if self.trivial:
+            return
+        self.space_a_plus = StringSpace(n, na + 1)
+        self.space_b_minus = StringSpace(n, nb - 1)
+        # creation into alpha: read the annihilation table of (na+1) backwards
+        self.ann_a_plus = SingleAnnihilationTable(self.space_a_plus, problem.space_a)
+        self.ann_b = SingleAnnihilationTable(problem.space_b, self.space_b_minus)
+
+    def s_plus(self, C: np.ndarray) -> np.ndarray:
+        """S_+ C in the (na+1, nb-1) determinant space."""
+        if self.trivial:
+            raise ValueError("S+ annihilates this spin sector identically")
+        out = np.zeros((self.space_a_plus.size, self.space_b_minus.size))
+        for p in range(self.problem.n):
+            ra = self.ann_a_plus.rows_for_orbital(p)
+            rb = self.ann_b.rows_for_orbital(p)
+            if ra.size == 0 or rb.size == 0:
+                continue
+            # <I_a| a+_p |J_a> = sign of a_p|I_a>; alpha gains p
+            tgt_a = self.ann_a_plus.source[ra]
+            src_a = self.ann_a_plus.target[ra]
+            sgn_a = self.ann_a_plus.sign[ra].astype(np.float64)
+            src_b = self.ann_b.source[rb]
+            tgt_b = self.ann_b.target[rb]
+            sgn_b = self.ann_b.sign[rb].astype(np.float64)
+            block = C[np.ix_(src_a, src_b)] * sgn_a[:, None] * sgn_b[None, :]
+            # target pairs are unique per p, so fancy += accumulates correctly
+            out[np.ix_(tgt_a, tgt_b)] += block
+        return out
+
+    def s_minus_back(self, T: np.ndarray) -> np.ndarray:
+        """S_- T, mapping (na+1, nb-1) back to the original (na, nb) space."""
+        if self.trivial:
+            raise ValueError("spin sector mismatch")
+        out = np.zeros(self.problem.shape)
+        for p in range(self.problem.n):
+            ra = self.ann_a_plus.rows_for_orbital(p)
+            rb = self.ann_b.rows_for_orbital(p)
+            if ra.size == 0 or rb.size == 0:
+                continue
+            src_a = self.ann_a_plus.source[ra]
+            tgt_a = self.ann_a_plus.target[ra]
+            sgn_a = self.ann_a_plus.sign[ra].astype(np.float64)
+            tgt_b = self.ann_b.source[rb]
+            src_b = self.ann_b.target[rb]
+            sgn_b = self.ann_b.sign[rb].astype(np.float64)
+            block = T[np.ix_(src_a, src_b)] * sgn_a[:, None] * sgn_b[None, :]
+            out[np.ix_(tgt_a, tgt_b)] += block
+        return out
+
+    def apply_s2(self, C: np.ndarray) -> np.ndarray:
+        """S^2 C = S_- S_+ C + Ms (Ms + 1) C."""
+        ms = 0.5 * (self.problem.n_alpha - self.problem.n_beta)
+        out = ms * (ms + 1.0) * C
+        if not self.trivial:
+            out = out + self.s_minus_back(self.s_plus(C))
+        return out
+
+    def expectation(self, C: np.ndarray) -> float:
+        norm2 = float(np.vdot(C, C))
+        if norm2 == 0.0:
+            raise ValueError("zero CI vector")
+        ms = 0.5 * (self.problem.n_alpha - self.problem.n_beta)
+        base = ms * (ms + 1.0)
+        if self.trivial:
+            return base
+        plus = self.s_plus(C)
+        return base + float(np.vdot(plus, plus)) / norm2
+
+
+def s_plus(problem: CIProblem, C: np.ndarray):
+    """Apply S_+; returns (vector, alpha_space, beta_space) of the image."""
+    op = SpinOperator(problem)
+    return op.s_plus(C), op.space_a_plus, op.space_b_minus
+
+
+def apply_s2(problem: CIProblem, C: np.ndarray) -> np.ndarray:
+    """S^2 C (builds tables on the fly; cache a SpinOperator for reuse)."""
+    return SpinOperator(problem).apply_s2(C)
+
+
+def s_squared(problem: CIProblem, C: np.ndarray) -> float:
+    """<C|S^2|C> / <C|C>."""
+    return SpinOperator(problem).expectation(C)

@@ -1,0 +1,18 @@
+"""Molecular integrals over contracted Cartesian Gaussians."""
+
+from .boys import boys, boys_array
+from .hermite import hermite_coulomb, hermite_expansion
+from .one_electron import core_hamiltonian, kinetic, nuclear_attraction, overlap
+from .two_electron import eri
+
+__all__ = [
+    "boys",
+    "boys_array",
+    "hermite_coulomb",
+    "hermite_expansion",
+    "core_hamiltonian",
+    "kinetic",
+    "nuclear_attraction",
+    "overlap",
+    "eri",
+]

@@ -1,0 +1,44 @@
+"""The Boys function F_n(x) used by Gaussian Coulomb integrals.
+
+F_n(x) = int_0^1 t^(2n) exp(-x t^2) dt
+
+Evaluated through Kummer's confluent hypergeometric function,
+
+    F_n(x) = 1F1(n + 1/2; n + 3/2; -x) / (2n + 1),
+
+which is numerically stable across the full range needed here, with a
+downward-recursion path that fills all orders 0..nmax from the highest one:
+
+    F_{n-1}(x) = (2 x F_n(x) + exp(-x)) / (2 n - 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import hyp1f1
+
+__all__ = ["boys", "boys_array"]
+
+
+def boys(n: int, x: float) -> float:
+    """Single Boys function value F_n(x)."""
+    if x < 0:
+        raise ValueError("Boys function argument must be non-negative")
+    return float(hyp1f1(n + 0.5, n + 1.5, -x)) / (2 * n + 1)
+
+
+def boys_array(nmax: int, x: float) -> np.ndarray:
+    """All Boys values F_0(x) .. F_nmax(x) as an array of length nmax+1.
+
+    The top order is evaluated directly and lower orders are filled by the
+    (stable) downward recursion.
+    """
+    if x < 0:
+        raise ValueError("Boys function argument must be non-negative")
+    out = np.empty(nmax + 1)
+    out[nmax] = boys(nmax, x)
+    if nmax > 0:
+        ex = np.exp(-x)
+        for n in range(nmax, 0, -1):
+            out[n - 1] = (2.0 * x * out[n] + ex) / (2 * n - 1)
+    return out

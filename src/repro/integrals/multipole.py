@@ -1,0 +1,66 @@
+"""Multipole (dipole) integrals over Cartesian Gaussians."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..basis.shell import BasisSet, cartesian_components
+from .hermite import hermite_expansion
+from .one_electron import _component_norms
+
+__all__ = ["dipole"]
+
+
+def dipole(basis: BasisSet, origin=(0.0, 0.0, 0.0)) -> np.ndarray:
+    """Dipole integral matrices D[c, mu, nu] = <mu| (r - origin)_c |nu>.
+
+    Uses the Hermite identity <a| x - Cx |b> = [E_1 + (Px - Cx) E_0] along
+    the moment axis with plain overlaps on the other two.
+    """
+    origin = np.asarray(origin, dtype=float)
+    n = basis.nbf
+    D = np.zeros((3, n, n))
+    offs = basis.shell_offsets
+    for ia, sa in enumerate(basis.shells):
+        comps_a = cartesian_components(sa.l)
+        na = _component_norms(sa)
+        for ib in range(ia + 1):
+            sb = basis.shells[ib]
+            comps_b = cartesian_components(sb.l)
+            nb = _component_norms(sb)
+            AB = sa.center - sb.center
+            block = np.zeros((3, len(comps_a), len(comps_b)))
+            for a, ca in zip(sa.exponents, sa.coefficients * sa._norms):
+                for b, cb in zip(sb.exponents, sb.coefficients * sb._norms):
+                    p = a + b
+                    P = (a * sa.center + b * sb.center) / p
+                    pref = ca * cb * (math.pi / p) ** 1.5
+                    E = [
+                        hermite_expansion(sa.l, sb.l, a, b, AB[ax]) for ax in range(3)
+                    ]
+                    for u, la in enumerate(comps_a):
+                        for v, lb in enumerate(comps_b):
+                            s = [E[ax][la[ax], lb[ax], 0] for ax in range(3)]
+                            for ax in range(3):
+                                lsum = la[ax] + lb[ax]
+                                e1 = E[ax][la[ax], lb[ax], 1] if lsum >= 1 else 0.0
+                                mom = e1 + (P[ax] - origin[ax]) * s[ax]
+                                others = 1.0
+                                for ox in range(3):
+                                    if ox != ax:
+                                        others *= s[ox]
+                                block[ax, u, v] += pref * mom * others
+            block *= na[None, :, None] * nb[None, None, :]
+            D[
+                :,
+                offs[ia] : offs[ia] + len(comps_a),
+                offs[ib] : offs[ib] + len(comps_b),
+            ] = block
+            D[
+                :,
+                offs[ib] : offs[ib] + len(comps_b),
+                offs[ia] : offs[ia] + len(comps_a),
+            ] = block.transpose(0, 2, 1)
+    return D

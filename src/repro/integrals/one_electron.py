@@ -1,0 +1,180 @@
+"""One-electron integrals: overlap, kinetic, nuclear attraction."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..basis.shell import BasisSet, Shell, cartesian_components
+from .hermite import hermite_coulomb, hermite_expansion
+
+__all__ = ["overlap", "kinetic", "nuclear_attraction", "core_hamiltonian"]
+
+
+def _component_norms(shell: Shell) -> np.ndarray:
+    """Unit-normalization ratios for each Cartesian component of a shell."""
+    return np.array(
+        [shell.component_norm(lmn) for lmn in cartesian_components(shell.l)]
+    )
+
+
+def _shell_pair_tables(sa: Shell, sb: Shell, extra: int = 0):
+    """Hermite E tables for every primitive pair of a shell pair.
+
+    Returns a list of (ca*cb, p, P, (Ex, Ey, Ez)) tuples, where the E tables
+    cover angular momenta up to (la, lb + extra) on each axis.
+    """
+    la, lb = sa.l, sb.l
+    AB = sa.center - sb.center
+    out = []
+    for a, ca in zip(sa.exponents, sa.coefficients * sa._norms):
+        for b, cb in zip(sb.exponents, sb.coefficients * sb._norms):
+            p = a + b
+            P = (a * sa.center + b * sb.center) / p
+            Ex = hermite_expansion(la, lb + extra, a, b, AB[0])
+            Ey = hermite_expansion(la, lb + extra, a, b, AB[1])
+            Ez = hermite_expansion(la, lb + extra, a, b, AB[2])
+            out.append((ca * cb, a, b, p, P, (Ex, Ey, Ez)))
+    return out
+
+
+def overlap(basis: BasisSet) -> np.ndarray:
+    """Overlap matrix S over Cartesian basis functions."""
+    n = basis.nbf
+    S = np.zeros((n, n))
+    offs = basis.shell_offsets
+    for ia, sa in enumerate(basis.shells):
+        ca_comps = cartesian_components(sa.l)
+        na = _component_norms(sa)
+        for ib, sb in enumerate(basis.shells):
+            if ib > ia:
+                continue
+            cb_comps = cartesian_components(sb.l)
+            nb = _component_norms(sb)
+            pairs = _shell_pair_tables(sa, sb)
+            block = np.zeros((len(ca_comps), len(cb_comps)))
+            for cc, a, b, p, P, (Ex, Ey, Ez) in pairs:
+                pref = cc * (math.pi / p) ** 1.5
+                for u, (l1, m1, n1) in enumerate(ca_comps):
+                    for v, (l2, m2, n2) in enumerate(cb_comps):
+                        block[u, v] += (
+                            pref * Ex[l1, l2, 0] * Ey[m1, m2, 0] * Ez[n1, n2, 0]
+                        )
+            block *= na[:, None] * nb[None, :]
+            S[
+                offs[ia] : offs[ia] + len(ca_comps),
+                offs[ib] : offs[ib] + len(cb_comps),
+            ] = block
+            S[
+                offs[ib] : offs[ib] + len(cb_comps),
+                offs[ia] : offs[ia] + len(ca_comps),
+            ] = block.T
+    return S
+
+
+def kinetic(basis: BasisSet) -> np.ndarray:
+    """Kinetic-energy matrix T = <mu| -1/2 nabla^2 |nu>."""
+    n = basis.nbf
+    T = np.zeros((n, n))
+    offs = basis.shell_offsets
+
+    def s1d(E, i, j):
+        return E[i, j, 0]
+
+    for ia, sa in enumerate(basis.shells):
+        ca_comps = cartesian_components(sa.l)
+        na = _component_norms(sa)
+        for ib, sb in enumerate(basis.shells):
+            if ib > ia:
+                continue
+            cb_comps = cartesian_components(sb.l)
+            nb = _component_norms(sb)
+            pairs = _shell_pair_tables(sa, sb, extra=2)
+            block = np.zeros((len(ca_comps), len(cb_comps)))
+            for cc, a, b, p, P, (Ex, Ey, Ez) in pairs:
+                pref = cc * (math.pi / p) ** 1.5
+                for u, (l1, m1, n1) in enumerate(ca_comps):
+                    for v, (l2, m2, n2) in enumerate(cb_comps):
+                        sx, sy, sz = s1d(Ex, l1, l2), s1d(Ey, m1, m2), s1d(Ez, n1, n2)
+
+                        def k1d(E, i, j):
+                            val = -2.0 * b * b * E[i, j + 2, 0] + b * (
+                                2 * j + 1
+                            ) * E[i, j, 0]
+                            if j >= 2:
+                                val -= 0.5 * j * (j - 1) * E[i, j - 2, 0]
+                            return val
+
+                        kx = k1d(Ex, l1, l2)
+                        ky = k1d(Ey, m1, m2)
+                        kz = k1d(Ez, n1, n2)
+                        block[u, v] += pref * (kx * sy * sz + sx * ky * sz + sx * sy * kz)
+            block *= na[:, None] * nb[None, :]
+            T[
+                offs[ia] : offs[ia] + len(ca_comps),
+                offs[ib] : offs[ib] + len(cb_comps),
+            ] = block
+            T[
+                offs[ib] : offs[ib] + len(cb_comps),
+                offs[ia] : offs[ia] + len(ca_comps),
+            ] = block.T
+    return T
+
+
+def nuclear_attraction(
+    basis: BasisSet, charges: list[tuple[float, np.ndarray]]
+) -> np.ndarray:
+    """Nuclear-attraction matrix V = sum_C -Z_C <mu| 1/|r-C| |nu>.
+
+    ``charges`` is a list of (Z, position) pairs in Bohr.
+    """
+    n = basis.nbf
+    V = np.zeros((n, n))
+    offs = basis.shell_offsets
+    for ia, sa in enumerate(basis.shells):
+        ca_comps = cartesian_components(sa.l)
+        na = _component_norms(sa)
+        for ib, sb in enumerate(basis.shells):
+            if ib > ia:
+                continue
+            cb_comps = cartesian_components(sb.l)
+            nb = _component_norms(sb)
+            pairs = _shell_pair_tables(sa, sb)
+            ltot = sa.l + sb.l
+            block = np.zeros((len(ca_comps), len(cb_comps)))
+            for cc, a, b, p, P, (Ex, Ey, Ez) in pairs:
+                pref = cc * 2.0 * math.pi / p
+                for Z, C in charges:
+                    R = hermite_coulomb(ltot, p, P - np.asarray(C, dtype=float))
+                    for u, (l1, m1, n1) in enumerate(ca_comps):
+                        for v, (l2, m2, n2) in enumerate(cb_comps):
+                            acc = 0.0
+                            for t in range(l1 + l2 + 1):
+                                ext = Ex[l1, l2, t]
+                                if ext == 0.0:
+                                    continue
+                                for uu in range(m1 + m2 + 1):
+                                    eyu = Ey[m1, m2, uu]
+                                    if eyu == 0.0:
+                                        continue
+                                    for vv in range(n1 + n2 + 1):
+                                        acc += ext * eyu * Ez[n1, n2, vv] * R[t, uu, vv]
+                            block[u, v] += -Z * pref * acc
+            block *= na[:, None] * nb[None, :]
+            V[
+                offs[ia] : offs[ia] + len(ca_comps),
+                offs[ib] : offs[ib] + len(cb_comps),
+            ] = block
+            V[
+                offs[ib] : offs[ib] + len(cb_comps),
+                offs[ia] : offs[ia] + len(ca_comps),
+            ] = block.T
+    return V
+
+
+def core_hamiltonian(
+    basis: BasisSet, charges: list[tuple[float, np.ndarray]]
+) -> np.ndarray:
+    """T + V for the given basis and nuclear framework."""
+    return kinetic(basis) + nuclear_attraction(basis, charges)

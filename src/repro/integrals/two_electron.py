@@ -1,0 +1,178 @@
+"""Two-electron repulsion integrals (ERIs) in chemists' notation (pq|rs).
+
+The full 4-index Cartesian ERI tensor is assembled shell-quartet by
+shell-quartet with McMurchie-Davidson Hermite expansions.  Per shell pair the
+bra/ket Hermite coefficient tensors are precomputed once; the inner
+primitive-quad loop then only evaluates the Hermite Coulomb tensor R and a
+small tensor contraction.  Eight-fold permutational symmetry halves (thrice)
+the quartet loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..basis.shell import BasisSet, Shell, cartesian_components
+from .hermite import hermite_coulomb, hermite_expansion
+from .one_electron import _component_norms
+
+__all__ = ["eri", "ShellPairData", "build_shell_pairs"]
+
+
+@dataclass
+class ShellPairData:
+    """Precomputed Hermite data for one (shell, shell) pair."""
+
+    ia: int
+    ib: int
+    la: int
+    lb: int
+    ncomp: int  # ncomp_a * ncomp_b
+    coefs: np.ndarray  # (npairs,) products of contraction coefficients
+    exps_p: np.ndarray  # (npairs,) a + b
+    centers_P: np.ndarray  # (npairs, 3)
+    # Hermite coefficient tensor per primitive pair:
+    # B[pair, comp_ab, t, u, v] with t,u,v <= la+lb
+    B: np.ndarray
+    norms: np.ndarray  # (ncomp,) component normalization products
+
+
+def build_shell_pairs(basis: BasisSet) -> list[list[ShellPairData]]:
+    """Build Hermite pair data for all ia >= ib shell pairs.
+
+    Returned as a 2-level list indexed [ia][ib] (ib <= ia).
+    """
+    table: list[list[ShellPairData]] = []
+    for ia, sa in enumerate(basis.shells):
+        row = []
+        comps_a = cartesian_components(sa.l)
+        norm_a = _component_norms(sa)
+        for ib in range(ia + 1):
+            sb = basis.shells[ib]
+            comps_b = cartesian_components(sb.l)
+            norm_b = _component_norms(sb)
+            la, lb = sa.l, sb.l
+            lsum = la + lb
+            AB = sa.center - sb.center
+            npair = sa.nprim * sb.nprim
+            ncomp = len(comps_a) * len(comps_b)
+            coefs = np.empty(npair)
+            exps_p = np.empty(npair)
+            centers = np.empty((npair, 3))
+            B = np.zeros((npair, ncomp, lsum + 1, lsum + 1, lsum + 1))
+            k = 0
+            for a, ca in zip(sa.exponents, sa.coefficients * sa._norms):
+                for b, cb in zip(sb.exponents, sb.coefficients * sb._norms):
+                    p = a + b
+                    coefs[k] = ca * cb
+                    exps_p[k] = p
+                    centers[k] = (a * sa.center + b * sb.center) / p
+                    Ex = hermite_expansion(la, lb, a, b, AB[0])
+                    Ey = hermite_expansion(la, lb, a, b, AB[1])
+                    Ez = hermite_expansion(la, lb, a, b, AB[2])
+                    c = 0
+                    for (l1, m1, n1) in comps_a:
+                        for (l2, m2, n2) in comps_b:
+                            bx = Ex[l1, l2, : l1 + l2 + 1]
+                            by = Ey[m1, m2, : m1 + m2 + 1]
+                            bz = Ez[n1, n2, : n1 + n2 + 1]
+                            B[
+                                k, c, : l1 + l2 + 1, : m1 + m2 + 1, : n1 + n2 + 1
+                            ] = bx[:, None, None] * by[None, :, None] * bz[None, None, :]
+                            c += 1
+                    k += 1
+            norms = (norm_a[:, None] * norm_b[None, :]).ravel()
+            row.append(
+                ShellPairData(
+                    ia=ia,
+                    ib=ib,
+                    la=la,
+                    lb=lb,
+                    ncomp=ncomp,
+                    coefs=coefs,
+                    exps_p=exps_p,
+                    centers_P=centers,
+                    B=B,
+                    norms=norms,
+                )
+            )
+        table.append(row)
+    return table
+
+
+def _quartet(bra: ShellPairData, ket: ShellPairData) -> np.ndarray:
+    """Contracted ERI block for one shell quartet: (ncomp_bra, ncomp_ket)."""
+    lb = bra.la + bra.lb
+    lk = ket.la + ket.lb
+    ltot = lb + lk
+    nb1 = lb + 1
+    nk1 = lk + 1
+    out = np.zeros((bra.ncomp, ket.ncomp))
+    Bbra = bra.B.reshape(bra.B.shape[0], bra.ncomp, -1)  # (npair, ncomp, nb1^3)
+    for kb in range(bra.coefs.size):
+        p = bra.exps_p[kb]
+        P = bra.centers_P[kb]
+        cb = bra.coefs[kb]
+        for kk in range(ket.coefs.size):
+            q = ket.exps_p[kk]
+            Q = ket.centers_P[kk]
+            alpha = p * q / (p + q)
+            R = hermite_coulomb(ltot, alpha, P - Q)
+            pref = (
+                cb
+                * ket.coefs[kk]
+                * 2.0
+                * math.pi**2.5
+                / (p * q * math.sqrt(p + q))
+            )
+            # C[comp_ket, t,u,v] = sum_{tau,nu,phi} (-1)^(tau+nu+phi)
+            #                      Bket[comp_ket,tau,nu,phi] R[t+tau,u+nu,v+phi]
+            C = np.zeros((ket.ncomp, nb1, nb1, nb1))
+            Bket = ket.B[kk]
+            for tau in range(nk1):
+                for nu in range(nk1):
+                    for phi in range(nk1):
+                        col = Bket[:, tau, nu, phi]
+                        if not np.any(col):
+                            continue
+                        sign = -1.0 if (tau + nu + phi) & 1 else 1.0
+                        C += (sign * col)[:, None, None, None] * R[
+                            tau : tau + nb1, nu : nu + nb1, phi : phi + nb1
+                        ]
+            out += pref * (Bbra[kb] @ C.reshape(ket.ncomp, -1).T)
+    out *= bra.norms[:, None] * ket.norms[None, :]
+    return out
+
+
+def eri(basis: BasisSet) -> np.ndarray:
+    """Full (nbf, nbf, nbf, nbf) ERI tensor, chemists' notation (pq|rs)."""
+    n = basis.nbf
+    offs = basis.shell_offsets
+    pairs = build_shell_pairs(basis)
+    g = np.zeros((n, n, n, n))
+    flat_pairs = [pairs[ia][ib] for ia in range(len(pairs)) for ib in range(ia + 1)]
+    for pi, bra in enumerate(flat_pairs):
+        for ket in flat_pairs[: pi + 1]:
+            block = _quartet(bra, ket)
+            na = basis.shells[bra.ia].nfunc
+            nb = basis.shells[bra.ib].nfunc
+            nc = basis.shells[ket.ia].nfunc
+            nd = basis.shells[ket.ib].nfunc
+            blk = block.reshape(na, nb, nc, nd)
+            oa, ob = offs[bra.ia], offs[bra.ib]
+            oc, od = offs[ket.ia], offs[ket.ib]
+            for perm_blk, (o1, n1, o2, n2, o3, n3, o4, n4) in (
+                (blk, (oa, na, ob, nb, oc, nc, od, nd)),
+                (blk.transpose(1, 0, 2, 3), (ob, nb, oa, na, oc, nc, od, nd)),
+                (blk.transpose(0, 1, 3, 2), (oa, na, ob, nb, od, nd, oc, nc)),
+                (blk.transpose(1, 0, 3, 2), (ob, nb, oa, na, od, nd, oc, nc)),
+                (blk.transpose(2, 3, 0, 1), (oc, nc, od, nd, oa, na, ob, nb)),
+                (blk.transpose(3, 2, 0, 1), (od, nd, oc, nc, oa, na, ob, nb)),
+                (blk.transpose(2, 3, 1, 0), (oc, nc, od, nd, ob, nb, oa, na)),
+                (blk.transpose(3, 2, 1, 0), (od, nd, oc, nc, ob, nb, oa, na)),
+            ):
+                g[o1 : o1 + n1, o2 : o2 + n2, o3 : o3 + n3, o4 : o4 + n4] = perm_blk
+    return g

@@ -1,0 +1,13 @@
+"""Molecular geometry and abelian point-group symmetry."""
+
+from .geometry import Atom, Molecule
+from .symmetry import POINT_GROUPS, PointGroup, ao_representation, assign_orbital_irreps
+
+__all__ = [
+    "Atom",
+    "Molecule",
+    "POINT_GROUPS",
+    "PointGroup",
+    "ao_representation",
+    "assign_orbital_irreps",
+]

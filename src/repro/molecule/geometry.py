@@ -1,0 +1,110 @@
+"""Molecular geometry: atoms, coordinates, nuclear repulsion."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..basis.data import atomic_number, build_basis
+from ..basis.shell import BasisSet
+
+__all__ = ["Atom", "Molecule"]
+
+ANGSTROM_TO_BOHR = 1.0 / 0.52917721092
+
+
+@dataclass(frozen=True)
+class Atom:
+    symbol: str
+    position: tuple[float, float, float]  # Bohr
+
+    @property
+    def Z(self) -> int:
+        return atomic_number(self.symbol)
+
+
+@dataclass
+class Molecule:
+    """A molecule: atoms (positions in Bohr), charge and spin multiplicity."""
+
+    atoms: list[Atom]
+    charge: int = 0
+    multiplicity: int = 1
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.multiplicity < 1:
+            raise ValueError("multiplicity must be >= 1")
+        ne = self.n_electrons
+        if (ne - (self.multiplicity - 1)) % 2 != 0:
+            raise ValueError(
+                f"{ne} electrons incompatible with multiplicity {self.multiplicity}"
+            )
+
+    @classmethod
+    def from_atoms(
+        cls,
+        spec: list[tuple[str, tuple[float, float, float]]],
+        *,
+        charge: int = 0,
+        multiplicity: int = 1,
+        unit: str = "bohr",
+        name: str = "",
+    ) -> "Molecule":
+        """Construct from [(symbol, (x, y, z)), ...]; unit 'bohr' or 'angstrom'."""
+        scale = 1.0 if unit.lower().startswith("b") else ANGSTROM_TO_BOHR
+        atoms = [
+            Atom(sym, (x * scale, y * scale, z * scale)) for sym, (x, y, z) in spec
+        ]
+        return cls(atoms=atoms, charge=charge, multiplicity=multiplicity, name=name)
+
+    @property
+    def n_atoms(self) -> int:
+        return len(self.atoms)
+
+    @property
+    def n_electrons(self) -> int:
+        return sum(a.Z for a in self.atoms) - self.charge
+
+    @property
+    def n_alpha(self) -> int:
+        ne = self.n_electrons
+        return (ne + self.multiplicity - 1) // 2
+
+    @property
+    def n_beta(self) -> int:
+        return self.n_electrons - self.n_alpha
+
+    def coordinates(self) -> np.ndarray:
+        return np.array([a.position for a in self.atoms], dtype=float)
+
+    def charges(self) -> list[tuple[float, np.ndarray]]:
+        """[(Z, position)] list suitable for nuclear-attraction integrals."""
+        return [(float(a.Z), np.asarray(a.position)) for a in self.atoms]
+
+    def nuclear_repulsion(self) -> float:
+        """Nuclear repulsion energy in Hartree."""
+        e = 0.0
+        coords = self.coordinates()
+        zs = [a.Z for a in self.atoms]
+        for i in range(self.n_atoms):
+            for j in range(i):
+                r = np.linalg.norm(coords[i] - coords[j])
+                if r < 1e-10:
+                    raise ValueError(f"atoms {i} and {j} coincide")
+                e += zs[i] * zs[j] / r
+        return e
+
+    def basis(self, name: str = "sto-3g") -> BasisSet:
+        """Build a named basis set on this geometry."""
+        return build_basis(
+            [(a.symbol, np.asarray(a.position)) for a in self.atoms], name
+        )
+
+    def __repr__(self) -> str:
+        label = self.name or "".join(a.symbol for a in self.atoms)
+        return (
+            f"Molecule({label}, {self.n_electrons} electrons, charge={self.charge}, "
+            f"2S+1={self.multiplicity})"
+        )

@@ -1,0 +1,294 @@
+"""Abelian point-group symmetry (D2h and its subgroups).
+
+All groups handled here are subgroups of D2h, whose operations act on
+Cartesian coordinates as sign flips of (x, y, z).  An operation is encoded as
+a 3-bit *flip mask* (bit 0 = flip x, bit 1 = flip y, bit 2 = flip z);
+composition of operations is XOR of masks.  Irreducible representations are
+the homomorphisms G -> {+-1}; for such elementary abelian 2-groups the irrep
+product is again XOR on a canonical set of representatives, which is the
+property the CI code relies on (the symmetry of a determinant string is the
+XOR-product of its occupied orbitals' irreps).
+
+Cartesian Gaussian basis functions transform diagonally under these
+operations up to an atom permutation, which makes constructing the AO
+representation matrices exact and cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..basis.shell import BasisSet
+
+__all__ = ["PointGroup", "POINT_GROUPS", "ao_representation", "assign_orbital_irreps"]
+
+# Operation flip-masks (bit 0 = flip x, bit 1 = flip y, bit 2 = flip z).
+_E, _SGX, _SGY, _SGZ = 0b000, 0b001, 0b010, 0b100  # sigma_yz flips x, etc.
+_C2Z, _C2Y, _C2X, _I = 0b011, 0b101, 0b110, 0b111
+
+_OP_NAMES = {
+    _E: "E",
+    _C2Z: "C2z",
+    _C2Y: "C2y",
+    _C2X: "C2x",
+    _I: "i",
+    _SGZ: "s_xy",
+    _SGY: "s_xz",
+    _SGX: "s_yz",
+}
+
+_GROUP_OPS = {
+    "C1": [_E],
+    "Ci": [_E, _I],
+    "Cs": [_E, _SGZ],
+    "C2": [_E, _C2Z],
+    "C2v": [_E, _C2Z, _SGY, _SGX],
+    "C2h": [_E, _C2Z, _I, _SGZ],
+    "D2": [_E, _C2Z, _C2Y, _C2X],
+    "D2h": [_E, _C2Z, _C2Y, _C2X, _I, _SGZ, _SGY, _SGX],
+}
+
+_D2H_IRREP_NAMES = ["Ag", "B1g", "B2g", "B3g", "Au", "B1u", "B2u", "B3u"]
+_IRREP_NAMES = {
+    "C1": ["A"],
+    "Ci": ["Ag", "Au"],
+    "Cs": ["A'", 'A"'],
+    "C2": ["A", "B"],
+    "C2v": ["A1", "A2", "B1", "B2"],
+    "C2h": ["Ag", "Bg", "Au", "Bu"],
+    "D2": ["A", "B1", "B2", "B3"],
+    "D2h": _D2H_IRREP_NAMES,
+}
+
+
+def _character(r: int, g: int) -> int:
+    """Character of irrep representative r at operation g: (-1)^popcount(r&g)."""
+    return -1 if bin(r & g).count("1") & 1 else 1
+
+
+@dataclass
+class PointGroup:
+    """An abelian point group with XOR irrep algebra.
+
+    Attributes
+    ----------
+    name:
+        Group label (C1, Ci, Cs, C2, C2v, C2h, D2, D2h).
+    ops:
+        Flip masks of the group operations (identity first).
+    irrep_names:
+        Irrep labels, index = irrep id.
+    """
+
+    name: str
+    ops: list[int]
+    irrep_names: list[str]
+    _reps: list[int]  # canonical character representatives, one per irrep
+
+    @classmethod
+    def get(cls, name: str) -> "PointGroup":
+        key = name.strip()
+        # normalize case, e.g. 'd2h' -> 'D2h'
+        for known in _GROUP_OPS:
+            if known.lower() == key.lower():
+                key = known
+                break
+        else:
+            raise KeyError(f"unknown point group {name!r}; known: {list(_GROUP_OPS)}")
+        ops = _GROUP_OPS[key]
+        # Canonical irrep representatives: the r in 0..7 whose restriction to
+        # the group's ops are pairwise distinct, smallest representatives
+        # first, in an order consistent with the conventional irrep labels.
+        reps: list[int] = []
+        seen: set[tuple[int, ...]] = set()
+        for r in range(8):
+            fingerprint = tuple(_character(r, g) for g in ops)
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                reps.append(r)
+            if len(reps) == len(ops):
+                break
+        return cls(
+            name=key, ops=list(ops), irrep_names=_IRREP_NAMES[key], _reps=reps
+        )
+
+    @property
+    def n_irreps(self) -> int:
+        return len(self._reps)
+
+    def character(self, irrep: int, op_index: int) -> int:
+        """Character of irrep id at the op_index-th operation."""
+        return _character(self._reps[irrep], self.ops[op_index])
+
+    def product(self, irrep_a: int, irrep_b: int) -> int:
+        """Irrep id of the direct product (XOR algebra)."""
+        r = self._reps[irrep_a] ^ self._reps[irrep_b]
+        fp = tuple(_character(r, g) for g in self.ops)
+        for idx, rr in enumerate(self._reps):
+            if tuple(_character(rr, g) for g in self.ops) == fp:
+                return idx
+        raise RuntimeError("irrep product not found (corrupt group)")
+
+    def product_table(self) -> np.ndarray:
+        n = self.n_irreps
+        return np.array(
+            [[self.product(a, b) for b in range(n)] for a in range(n)], dtype=np.int64
+        )
+
+    def irrep_id(self, name: str) -> int:
+        for idx, nm in enumerate(self.irrep_names):
+            if nm.lower() == name.strip().lower():
+                return idx
+        raise KeyError(f"irrep {name!r} not in {self.name}: {self.irrep_names}")
+
+    def op_names(self) -> list[str]:
+        return [_OP_NAMES[g] for g in self.ops]
+
+
+POINT_GROUPS = list(_GROUP_OPS)
+
+
+def _apply_flip(mask: int, xyz: np.ndarray) -> np.ndarray:
+    out = xyz.copy()
+    for axis in range(3):
+        if mask & (1 << axis):
+            out[..., axis] = -out[..., axis]
+    return out
+
+
+def ao_representation(
+    basis: BasisSet, coords: np.ndarray, op_mask: int, tol: float = 1e-8
+) -> np.ndarray:
+    """Representation matrix T(g) of one operation in the Cartesian AO basis.
+
+    ``(T c)`` transforms MO coefficient vectors; column mu of T holds the
+    image of basis function mu.  Raises if the operation does not map the
+    atomic framework onto itself.
+    """
+    coords = np.asarray(coords, dtype=float)
+    imgs = _apply_flip(op_mask, coords)
+    # atom permutation
+    perm = np.full(len(coords), -1, dtype=int)
+    for i, pos in enumerate(imgs):
+        d = np.linalg.norm(coords - pos[None, :], axis=1)
+        j = int(np.argmin(d))
+        if d[j] > tol:
+            raise ValueError(
+                f"operation {_OP_NAMES[op_mask]} does not preserve the geometry"
+            )
+        perm[i] = j
+    n = basis.nbf
+    T = np.zeros((n, n))
+    for mu, bf in enumerate(basis.functions):
+        i, j, k = bf.lmn
+        sign = 1.0
+        if op_mask & 1 and i % 2:
+            sign = -sign
+        if op_mask & 2 and j % 2:
+            sign = -sign
+        if op_mask & 4 and k % 2:
+            sign = -sign
+        # find the matching function on the image atom
+        target_atom = perm[bf.atom_index] if bf.atom_index >= 0 else bf.atom_index
+        found = False
+        for nu, bf2 in enumerate(basis.functions):
+            if (
+                bf2.atom_index == target_atom
+                and bf2.lmn == bf.lmn
+                and bf2.shell_index != -1
+                and basis.functions[nu].shell_index
+                == _image_shell(basis, bf.shell_index, bf.atom_index, target_atom)
+            ):
+                T[nu, mu] = sign
+                found = True
+                break
+        if not found:
+            raise RuntimeError("no image basis function found; basis not symmetric")
+    return T
+
+
+def _image_shell(
+    basis: BasisSet, shell_index: int, atom_index: int, target_atom: int
+) -> int:
+    """Index of the shell on target_atom matching shell_index on atom_index.
+
+    Assumes identical shell layout per symmetry-equivalent atom (true for the
+    per-atom basis builders in this package): the image shell has the same
+    ordinal position among its atom's shells.
+    """
+    src_shells = [i for i, sh in enumerate(basis.shells) if sh.atom_index == atom_index]
+    dst_shells = [i for i, sh in enumerate(basis.shells) if sh.atom_index == target_atom]
+    pos = src_shells.index(shell_index)
+    return dst_shells[pos]
+
+
+def assign_orbital_irreps(
+    group: PointGroup,
+    basis: BasisSet,
+    coords: np.ndarray,
+    C: np.ndarray,
+    S: np.ndarray,
+    orbital_energies: np.ndarray | None = None,
+    degeneracy_tol: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetrize molecular orbitals and assign irrep ids.
+
+    Returns (C_sym, irreps).  Orbitals within a degenerate energy block are
+    rotated so each one transforms as a single irrep; non-degenerate orbitals
+    of a symmetric Fock operator already do.
+    """
+    nmo = C.shape[1]
+    Ts = [ao_representation(basis, coords, g) for g in group.ops]
+    if orbital_energies is None:
+        blocks = [[i] for i in range(nmo)]
+    else:
+        blocks = []
+        cur = [0]
+        for i in range(1, nmo):
+            if abs(orbital_energies[i] - orbital_energies[i - 1]) < degeneracy_tol:
+                cur.append(i)
+            else:
+                blocks.append(cur)
+                cur = [i]
+        blocks.append(cur)
+    C_out = C.copy()
+    irreps = np.full(nmo, -1, dtype=int)
+    for block in blocks:
+        sub = C_out[:, block]
+        # per-irrep projector expressed in the block subspace
+        remaining = list(range(len(block)))
+        new_cols = []
+        new_irr = []
+        for r in range(group.n_irreps):
+            if not remaining:
+                break
+            P = np.zeros((len(block), len(block)))
+            for gi, T in enumerate(Ts):
+                chi = group.character(r, gi)
+                P += chi * (sub.T @ S @ (T @ sub))
+            P /= len(group.ops)
+            evals, evecs = np.linalg.eigh(0.5 * (P + P.T))
+            for col in range(len(block)):
+                if evals[col] > 0.5:
+                    vec = sub @ evecs[:, col]
+                    nrm = float(vec @ S @ vec)
+                    new_cols.append(vec / np.sqrt(nrm))
+                    new_irr.append(r)
+        if len(new_cols) != len(block):
+            raise ValueError(
+                "could not symmetrize orbital block; geometry/group mismatch?"
+            )
+        for k, i in enumerate(block):
+            C_out[:, i] = new_cols[k]
+            irreps[i] = new_irr[k]
+    # verify
+    for gi, T in enumerate(Ts):
+        diag = np.einsum("mi,mn,ni->i", C_out, S @ T, C_out)
+        expected = np.array(
+            [group.character(irreps[i], gi) for i in range(nmo)], dtype=float
+        )
+        if not np.allclose(diag, expected, atol=1e-6):
+            raise ValueError("orbital symmetrization failed verification")
+    return C_out, irreps

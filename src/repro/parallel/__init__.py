@@ -1,0 +1,28 @@
+"""Parallel FCI on the simulated Cray-X1: numeric and trace drivers."""
+
+from .taskpool import Task, build_task_pool, pool_statistics
+from .pfci import ParallelReport, ParallelSigma
+from .trace import (
+    FCISpaceSpec,
+    TraceFCI,
+    TraceResult,
+    atom_irreps,
+    homonuclear_diatomic_irreps,
+)
+from .perfmodel import PerfModelRow, alpha_beta_model, measured_counts
+
+__all__ = [
+    "Task",
+    "build_task_pool",
+    "pool_statistics",
+    "ParallelReport",
+    "ParallelSigma",
+    "FCISpaceSpec",
+    "TraceFCI",
+    "TraceResult",
+    "atom_irreps",
+    "homonuclear_diatomic_irreps",
+    "PerfModelRow",
+    "alpha_beta_model",
+    "measured_counts",
+]

@@ -1,0 +1,17 @@
+"""Self-consistent field methods and MO integral transformation."""
+
+from .rhf import AOIntegrals, DIIS, SCFResult, compute_ao_integrals, rhf
+from .rohf import rohf
+from .mo import MOIntegrals, freeze_core, transform
+
+__all__ = [
+    "AOIntegrals",
+    "DIIS",
+    "SCFResult",
+    "compute_ao_integrals",
+    "rhf",
+    "rohf",
+    "MOIntegrals",
+    "freeze_core",
+    "transform",
+]

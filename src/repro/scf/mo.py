@@ -1,0 +1,111 @@
+"""AO -> MO integral transformation and frozen-core reduction.
+
+Produces the :class:`MOIntegrals` bundle (h_pq, (pq|rs), scalar core energy)
+that every FCI routine in :mod:`repro.core` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .rhf import AOIntegrals
+
+__all__ = ["MOIntegrals", "transform", "freeze_core"]
+
+
+@dataclass
+class MOIntegrals:
+    """Spin-free Hamiltonian in an orthonormal orbital basis.
+
+    H = e_core + sum_pq h[p,q] E_pq + 1/2 sum_pqrs g[p,q,r,s] e_{pr,qs}
+
+    with g in chemists' notation (pq|rs).
+    """
+
+    h: np.ndarray
+    g: np.ndarray
+    e_core: float
+    n_orbitals: int
+    orbital_irreps: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        n = self.n_orbitals
+        if self.h.shape != (n, n) or self.g.shape != (n, n, n, n):
+            raise ValueError("inconsistent MO integral dimensions")
+
+    def validate_symmetries(self, atol: float = 1e-9) -> None:
+        """Check hermiticity of h and 8-fold permutational symmetry of g."""
+        if not np.allclose(self.h, self.h.T, atol=atol):
+            raise ValueError("h is not symmetric")
+        g = self.g
+        for perm in [(1, 0, 2, 3), (0, 1, 3, 2), (2, 3, 0, 1)]:
+            if not np.allclose(g, g.transpose(perm), atol=atol):
+                raise ValueError(f"g violates permutation symmetry {perm}")
+
+
+def transform(
+    ints: AOIntegrals, mo_coeff: np.ndarray, orbital_irreps: np.ndarray | None = None
+) -> MOIntegrals:
+    """Transform AO integrals into the MO basis defined by ``mo_coeff``."""
+    C = np.asarray(mo_coeff, dtype=float)
+    h = C.T @ ints.hcore @ C
+    # quarter transformations: O(n^5)
+    g = np.einsum("pqrs,pi->iqrs", ints.g, C, optimize=True)
+    g = np.einsum("iqrs,qj->ijrs", g, C, optimize=True)
+    g = np.einsum("ijrs,rk->ijks", g, C, optimize=True)
+    g = np.einsum("ijks,sl->ijkl", g, C, optimize=True)
+    return MOIntegrals(
+        h=h,
+        g=g,
+        e_core=ints.enuc,
+        n_orbitals=C.shape[1],
+        orbital_irreps=None
+        if orbital_irreps is None
+        else np.asarray(orbital_irreps, dtype=int),
+    )
+
+
+def freeze_core(mo: MOIntegrals, n_frozen: int, n_active: int | None = None) -> MOIntegrals:
+    """Freeze the first ``n_frozen`` (doubly occupied) orbitals.
+
+    Returns integrals over the active window [n_frozen, n_frozen + n_active)
+    with the frozen-core mean field folded into the one-electron part and the
+    frozen-core energy folded into ``e_core``:
+
+        e_core' = e_core + 2 sum_i h_ii + sum_ij [2 (ii|jj) - (ij|ji)]
+        h'_pq  = h_pq + sum_i [2 (pq|ii) - (pi|iq)]
+
+    (i, j run over frozen orbitals; p, q over active ones).
+    """
+    if n_frozen < 0 or n_frozen >= mo.n_orbitals:
+        raise ValueError("invalid number of frozen orbitals")
+    if n_active is None:
+        n_active = mo.n_orbitals - n_frozen
+    hi = n_frozen + n_active
+    if hi > mo.n_orbitals:
+        raise ValueError("active window exceeds orbital count")
+    if n_frozen == 0 and hi == mo.n_orbitals:
+        return mo
+    f = slice(0, n_frozen)
+    a = slice(n_frozen, hi)
+    h, g = mo.h, mo.g
+    e_core = mo.e_core + 2.0 * float(np.trace(h[f, f]))
+    e_core += 2.0 * float(np.einsum("iijj->", g[f, f, f, f]))
+    e_core -= float(np.einsum("ijji->", g[f, f, f, f]))
+    h_eff = (
+        h[a, a]
+        + 2.0 * np.einsum("pqii->pq", g[a, a, f, f], optimize=True)
+        - np.einsum("piiq->pq", g[a, f, f, a], optimize=True)
+    )
+    irreps = None
+    if mo.orbital_irreps is not None:
+        irreps = mo.orbital_irreps[a]
+    return MOIntegrals(
+        h=h_eff,
+        g=g[a, a, a, a].copy(),
+        e_core=e_core,
+        n_orbitals=n_active,
+        orbital_irreps=irreps,
+    )

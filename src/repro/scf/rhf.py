@@ -1,0 +1,176 @@
+"""Restricted Hartree-Fock with DIIS convergence acceleration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..integrals import core_hamiltonian, eri, overlap
+from ..molecule.geometry import Molecule
+
+__all__ = ["SCFResult", "DIIS", "rhf", "AOIntegrals", "compute_ao_integrals"]
+
+
+@dataclass
+class AOIntegrals:
+    """Atomic-orbital integrals for one molecule/basis combination."""
+
+    S: np.ndarray
+    hcore: np.ndarray
+    g: np.ndarray  # (pq|rs) chemists' notation
+    enuc: float
+    nbf: int
+
+
+def compute_ao_integrals(mol: Molecule, basis_name: str = "sto-3g") -> AOIntegrals:
+    """All AO integrals needed by SCF and the MO transformation."""
+    basis = mol.basis(basis_name)
+    S = overlap(basis)
+    h = core_hamiltonian(basis, mol.charges())
+    g = eri(basis)
+    return AOIntegrals(S=S, hcore=h, g=g, enuc=mol.nuclear_repulsion(), nbf=basis.nbf)
+
+
+@dataclass
+class SCFResult:
+    """Converged SCF state."""
+
+    energy: float
+    mo_coeff: np.ndarray  # (nbf, nmo)
+    mo_energy: np.ndarray
+    density: np.ndarray  # total AO density matrix
+    converged: bool
+    n_iterations: int
+    method: str
+    n_alpha: int
+    n_beta: int
+    fock: np.ndarray | None = None
+    history: list[float] = field(default_factory=list)
+
+
+class DIIS:
+    """Pulay commutator-DIIS for Fock matrix extrapolation."""
+
+    def __init__(self, max_vectors: int = 8):
+        self.max_vectors = max_vectors
+        self._focks: list[np.ndarray] = []
+        self._errors: list[np.ndarray] = []
+
+    def update(self, F: np.ndarray, D: np.ndarray, S: np.ndarray, X: np.ndarray):
+        """Add (F, D) and return the extrapolated Fock and the error norm."""
+        err = X.T @ (F @ D @ S - S @ D @ F) @ X
+        self._focks.append(F.copy())
+        self._errors.append(err)
+        if len(self._focks) > self.max_vectors:
+            self._focks.pop(0)
+            self._errors.pop(0)
+        n = len(self._focks)
+        if n == 1:
+            return F, float(np.linalg.norm(err))
+        B = -np.ones((n + 1, n + 1))
+        B[n, n] = 0.0
+        for i in range(n):
+            for j in range(n):
+                B[i, j] = float(np.vdot(self._errors[i], self._errors[j]))
+        rhs = np.zeros(n + 1)
+        rhs[n] = -1.0
+        try:
+            coeffs = np.linalg.solve(B, rhs)[:n]
+        except np.linalg.LinAlgError:
+            self._focks = self._focks[-1:]
+            self._errors = self._errors[-1:]
+            return F, float(np.linalg.norm(err))
+        Fout = np.zeros_like(F)
+        for c, Fi in zip(coeffs, self._focks):
+            Fout += c * Fi
+        return Fout, float(np.linalg.norm(err))
+
+
+def _orthogonalizer(S: np.ndarray, threshold: float = 1e-8) -> np.ndarray:
+    evals, evecs = np.linalg.eigh(S)
+    keep = evals > threshold
+    return evecs[:, keep] @ np.diag(evals[keep] ** -0.5)
+
+
+def _symmetry_average(F: np.ndarray, ops: list[np.ndarray] | None) -> np.ndarray:
+    """Average an AO-basis operator over point-group operations.
+
+    Forces the effective field to transform totally symmetrically
+    ("symmetry equivalencing"), so degenerate shells stay aligned with the
+    symmetry axes - required for clean orbital irrep assignment in open-shell
+    atoms/molecules.  The FCI energy is invariant to this orbital choice.
+    """
+    if not ops:
+        return F
+    out = np.zeros_like(F)
+    for T in ops:
+        out += T.T @ F @ T
+    return out / len(ops)
+
+
+def rhf(
+    mol: Molecule,
+    ints: AOIntegrals,
+    *,
+    max_iterations: int = 200,
+    conv_tol: float = 1e-10,
+    diis: bool = True,
+    symmetry_ops: list[np.ndarray] | None = None,
+) -> SCFResult:
+    """Closed-shell restricted Hartree-Fock.
+
+    Requires an even electron count with multiplicity 1.  If
+    ``symmetry_ops`` (AO representation matrices of a point group) is given,
+    the Fock operator is symmetry-averaged each iteration.
+    """
+    if mol.multiplicity != 1:
+        raise ValueError("rhf requires a singlet; use rohf for open shells")
+    nocc = mol.n_electrons // 2
+    S, h, g = ints.S, ints.hcore, ints.g
+    X = _orthogonalizer(S)
+    extrapolator = DIIS() if diis else None
+
+    # core guess
+    eps, Cp = np.linalg.eigh(X.T @ h @ X)
+    C = X @ Cp
+    D = C[:, :nocc] @ C[:, :nocc].T
+
+    energy = 0.0
+    history: list[float] = []
+    converged = False
+    F = h
+    for it in range(1, max_iterations + 1):
+        J = np.einsum("pqrs,rs->pq", g, D, optimize=True)
+        K = np.einsum("prqs,rs->pq", g, D, optimize=True)
+        F = h + 2.0 * J - K
+        new_energy = float(np.sum(D * (h + F))) + ints.enuc
+        F = _symmetry_average(F, symmetry_ops)
+        Fuse = F
+        if extrapolator is not None:
+            Fuse, err_norm = extrapolator.update(F, D, S, X)
+        else:
+            err_norm = float(np.linalg.norm(X.T @ (F @ D @ S - S @ D @ F) @ X))
+        eps, Cp = np.linalg.eigh(X.T @ Fuse @ X)
+        C = X @ Cp
+        D = C[:, :nocc] @ C[:, :nocc].T
+        history.append(new_energy)
+        if it > 1 and abs(new_energy - energy) < conv_tol and err_norm < 1e-6:
+            energy = new_energy
+            converged = True
+            break
+        energy = new_energy
+
+    return SCFResult(
+        energy=energy,
+        mo_coeff=C,
+        mo_energy=eps,
+        density=2.0 * D,
+        converged=converged,
+        n_iterations=it,
+        method="rhf",
+        n_alpha=nocc,
+        n_beta=nocc,
+        fock=F,
+        history=history,
+    )

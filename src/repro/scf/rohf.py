@@ -1,0 +1,112 @@
+"""High-spin restricted open-shell Hartree-Fock (Roothaan effective Fock)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..molecule.geometry import Molecule
+from .rhf import AOIntegrals, DIIS, SCFResult, _orthogonalizer, _symmetry_average
+
+__all__ = ["rohf"]
+
+
+def _coulomb(g: np.ndarray, D: np.ndarray) -> np.ndarray:
+    return np.einsum("pqrs,rs->pq", g, D, optimize=True)
+
+
+def _exchange(g: np.ndarray, D: np.ndarray) -> np.ndarray:
+    return np.einsum("prqs,rs->pq", g, D, optimize=True)
+
+
+def rohf(
+    mol: Molecule,
+    ints: AOIntegrals,
+    *,
+    max_iterations: int = 300,
+    conv_tol: float = 1e-10,
+    diis: bool = True,
+    level_shift: float = 0.0,
+    symmetry_ops: list[np.ndarray] | None = None,
+) -> SCFResult:
+    """Restricted open-shell HF for a high-spin state (na >= nb).
+
+    Uses the Roothaan single-matrix effective Fock operator with the
+    canonical (1/2, 1/2) coupling in the closed-closed / open-open /
+    virtual-virtual blocks, F_beta in closed-open and F_alpha in
+    open-virtual.  Returns one set of spatial orbitals usable by the
+    spin-free FCI code.
+    """
+    na, nb = mol.n_alpha, mol.n_beta
+    if na < nb:
+        raise ValueError("rohf expects n_alpha >= n_beta")
+    S, h, g = ints.S, ints.hcore, ints.g
+    n = ints.nbf
+    X = _orthogonalizer(S)
+    extrapolator = DIIS() if diis else None
+
+    eps, Cp = np.linalg.eigh(X.T @ h @ X)
+    C = X @ Cp
+
+    energy = 0.0
+    history: list[float] = []
+    converged = False
+    for it in range(1, max_iterations + 1):
+        Da = C[:, :na] @ C[:, :na].T
+        Db = C[:, :nb] @ C[:, :nb].T
+        Dt = Da + Db
+        J = _coulomb(g, Dt)
+        Fa = h + J - _exchange(g, Da)
+        Fb = h + J - _exchange(g, Db)
+        new_energy = (
+            0.5 * float(np.sum(Da * (h + Fa)) + np.sum(Db * (h + Fb))) + ints.enuc
+        )
+
+        # Roothaan effective Fock in the current MO basis.
+        Fa_mo = C.T @ Fa @ C
+        Fb_mo = C.T @ Fb @ C
+        Fc = 0.5 * (Fa_mo + Fb_mo)
+        R = Fc.copy()
+        c = slice(0, nb)  # closed (doubly occupied)
+        o = slice(nb, na)  # open (singly occupied)
+        v = slice(na, n)  # virtual
+        R[c, o] = Fb_mo[c, o]
+        R[o, c] = Fb_mo[o, c]
+        R[o, v] = Fa_mo[o, v]
+        R[v, o] = Fa_mo[v, o]
+        if level_shift:
+            R[v, v] += level_shift * np.eye(n - na)
+
+        # back to AO: R_ao = S C R C^T S (since C^T S C = 1)
+        SC = S @ C
+        R_ao = SC @ R @ SC.T
+        R_ao = _symmetry_average(R_ao, symmetry_ops)
+        if extrapolator is not None:
+            R_ao, err_norm = extrapolator.update(R_ao, 0.5 * Dt, S, X)
+        else:
+            err_norm = float(
+                np.linalg.norm(X.T @ (R_ao @ (0.5 * Dt) @ S - S @ (0.5 * Dt) @ R_ao) @ X)
+            )
+        eps, Cp = np.linalg.eigh(X.T @ R_ao @ X)
+        C = X @ Cp
+        history.append(new_energy)
+        if it > 1 and abs(new_energy - energy) < conv_tol and err_norm < 1e-6:
+            energy = new_energy
+            converged = True
+            break
+        energy = new_energy
+
+    Da = C[:, :na] @ C[:, :na].T
+    Db = C[:, :nb] @ C[:, :nb].T
+    return SCFResult(
+        energy=energy,
+        mo_coeff=C,
+        mo_energy=eps,
+        density=Da + Db,
+        converged=converged,
+        n_iterations=it,
+        method="rohf",
+        n_alpha=na,
+        n_beta=nb,
+        fock=None,
+        history=history,
+    )

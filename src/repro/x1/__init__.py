@@ -1,0 +1,17 @@
+"""Simulated Cray-X1: machine model, discrete-event engine, SHMEM/DDI."""
+
+from .machine import X1Config
+from .engine import Engine, Op, Proc, RankStats, SymmetricHeap
+from .ddi import DDIArray, DynamicLoadBalancer, block_ranges
+
+__all__ = [
+    "X1Config",
+    "Engine",
+    "Op",
+    "Proc",
+    "RankStats",
+    "SymmetricHeap",
+    "DDIArray",
+    "DynamicLoadBalancer",
+    "block_ranges",
+]

@@ -1,0 +1,218 @@
+"""DDI-style distributed arrays over the simulated SHMEM engine.
+
+The Distributed Data Interface (paper ref. [17], a Global Arrays derivative)
+provides one-sided access to block-distributed arrays.  On the Cray-X1 it
+maps to SHMEM; the two operations the FCI code uses are
+
+* DDI_GET - one-sided gather of remote rows,
+* DDI_ACC - one-sided accumulate, implemented exactly as the paper
+  describes: acquire the remote node's mutex, SHMEM_GET the patch, add
+  locally, SHMEM_PUT it back, SHMEM_QUIET, release the mutex - which is why
+  "the remote accumulation actually involves twice the amount of
+  communication in remote get",
+
+plus the dynamic-load-balancing counter served by SHMEM atomic fetch-add
+(paper: SHMEM_SWAP).
+
+All methods are generators intended for ``yield from`` inside rank programs.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from .engine import Proc, SymmetricHeap
+
+__all__ = ["DDIArray", "DynamicLoadBalancer", "block_ranges"]
+
+_mutex_ids = itertools.count(1000)
+
+
+def block_ranges(n_items: int, n_blocks: int) -> list[tuple[int, int]]:
+    """Contiguous near-even split of range(n_items) into n_blocks pieces."""
+    base, extra = divmod(n_items, n_blocks)
+    out = []
+    start = 0
+    for b in range(n_blocks):
+        size = base + (1 if b < extra else 0)
+        out.append((start, start + size))
+        start += size
+    return out
+
+
+class DDIArray:
+    """A 2-D array distributed over ranks by contiguous row blocks."""
+
+    def __init__(
+        self,
+        heap: SymmetricHeap,
+        name: str,
+        n_rows: int,
+        n_cols: int,
+        *,
+        numeric: bool = True,
+        msps_per_node: int = 4,
+    ):
+        self.heap = heap
+        self.name = name
+        self.msps_per_node = max(1, int(msps_per_node))
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.numeric = numeric
+        self.ranges = block_ranges(self.n_rows, heap.n_ranks)
+        self._row_owner = np.empty(self.n_rows, dtype=np.int64)
+        for r, (lo, hi) in enumerate(self.ranges):
+            self._row_owner[lo:hi] = r
+        heap.alloc_per_rank(
+            name,
+            [(hi - lo, self.n_cols) for lo, hi in self.ranges],
+            numeric=numeric,
+        )
+        # one mutex per *node* (paper: DDI_ACC locks the remote node)
+        self._mutex_base = next(_mutex_ids) * 10000
+
+    # -- local access -------------------------------------------------------
+    def local_block(self, rank: int) -> np.ndarray | None:
+        return self.heap.segment(self.name, rank)
+
+    def local_range(self, rank: int) -> tuple[int, int]:
+        return self.ranges[rank]
+
+    def owner_of(self, row: int) -> int:
+        return int(self._row_owner[row])
+
+    def set_local(self, rank: int, data: np.ndarray) -> None:
+        blk = self.local_block(rank)
+        if blk is not None:
+            blk[...] = data
+
+    def _group_by_owner(self, rows: np.ndarray):
+        rows = np.asarray(rows, dtype=np.int64)
+        owners = self._row_owner[rows]
+        order = np.argsort(owners, kind="stable")
+        rows_sorted = rows[order]
+        owners_sorted = owners[order]
+        bounds = np.searchsorted(owners_sorted, np.arange(self.heap.n_ranks + 1))
+        groups = []
+        for r in range(self.heap.n_ranks):
+            lo, hi = bounds[r], bounds[r + 1]
+            if hi > lo:
+                groups.append((r, rows_sorted[lo:hi], order[lo:hi]))
+        return groups
+
+    # -- one-sided operations (generators; use with ``yield from``) ---------
+    def iget_rows(self, proc: Proc, rows, label: str = "gather"):
+        """DDI_GET of a row list; returns (len(rows), n_cols) in numeric mode."""
+        rows = np.asarray(rows, dtype=np.int64)
+        out = np.empty((rows.size, self.n_cols)) if self.numeric else None
+        for owner, grp_rows, positions in self._group_by_owner(rows):
+            lo = self.ranges[owner][0]
+            local = grp_rows - lo
+            nbytes = local.size * self.n_cols * 8.0
+            data = yield proc.get(
+                owner,
+                self.name,
+                key=(local, slice(None)) if self.numeric else None,
+                n_bytes=nbytes,
+                label=label,
+            )
+            if out is not None:
+                out[positions] = data
+        return out
+
+    def iget_col_block(self, proc: Proc, col_lo: int, col_hi: int, label: str = "gather"):
+        """DDI_GET of a full column block (all rows) - the distributed
+        transpose building block; returns (n_rows, col_hi-col_lo) numeric."""
+        width = col_hi - col_lo
+        out = np.empty((self.n_rows, width)) if self.numeric else None
+        for owner, (lo, hi) in enumerate(self.ranges):
+            if hi <= lo:
+                continue
+            nbytes = (hi - lo) * width * 8.0
+            data = yield proc.get(
+                owner,
+                self.name,
+                key=(slice(None), slice(col_lo, col_hi)) if self.numeric else None,
+                n_bytes=nbytes,
+                label=label,
+            )
+            if out is not None:
+                out[lo:hi] = data
+        return out
+
+    def iacc_col_block(self, proc: Proc, col_lo: int, col_hi: int, data, label: str = "accumulate"):
+        """DDI_ACC of a full column block into every owner's local rows."""
+        width = col_hi - col_lo
+        for owner, (lo, hi) in enumerate(self.ranges):
+            if hi <= lo:
+                continue
+            nbytes = (hi - lo) * width * 8.0
+            mutex = self._mutex_base + owner // self.msps_per_node
+            key = (slice(None), slice(col_lo, col_hi)) if self.numeric else None
+            yield proc.lock(mutex, label=label)
+            remote = yield proc.get(owner, self.name, key=key, n_bytes=nbytes, label=label)
+            updated = remote + data[lo:hi] if self.numeric and data is not None else None
+            yield proc.put(owner, self.name, key=key, value=updated, n_bytes=nbytes, label=label)
+            yield proc.quiet(label=label)
+            yield proc.unlock(mutex, label=label)
+
+    def iacc_rows(self, proc: Proc, rows, data, label: str = "accumulate"):
+        """DDI_ACC: the paper's lock/get/add/put/quiet/unlock protocol."""
+        rows = np.asarray(rows, dtype=np.int64)
+        for owner, grp_rows, positions in self._group_by_owner(rows):
+            lo = self.ranges[owner][0]
+            local = grp_rows - lo
+            nbytes = local.size * self.n_cols * 8.0
+            mutex = self._mutex_base + owner // self.msps_per_node
+            yield proc.lock(mutex, label=label)
+            remote = yield proc.get(
+                owner,
+                self.name,
+                key=(local, slice(None)) if self.numeric else None,
+                n_bytes=nbytes,
+                label=label,
+            )
+            if self.numeric and data is not None:
+                updated = remote + data[positions]
+            else:
+                updated = None
+            yield proc.put(
+                owner,
+                self.name,
+                key=(local, slice(None)) if self.numeric else None,
+                value=updated,
+                n_bytes=nbytes,
+                label=label,
+            )
+            yield proc.quiet(label=label)
+            yield proc.unlock(mutex, label=label)
+
+
+class DynamicLoadBalancer:
+    """Centralized task counter (manager/worker, paper section 3.3).
+
+    The counter lives on rank 0 and is advanced with the engine's atomic
+    fetch-add, which serializes competing requests at rank 0's memory port -
+    reproducing the contention behaviour of the SHMEM_SWAP-based DDI
+    implementation.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, heap: SymmetricHeap, name: str | None = None):
+        self.name = name or f"_dlb_{next(self._ids)}"
+        heap.alloc(self.name, (1,), dtype=np.int64, numeric=True)
+        self.heap = heap
+
+    def reset(self) -> None:
+        for r in range(self.heap.n_ranks):
+            seg = self.heap.segment(self.name, r)
+            if seg is not None:
+                seg[0] = 0
+
+    def inext(self, proc: Proc, label: str = "dlb"):
+        """Fetch the next global task number (generator)."""
+        old = yield proc.fadd(0, self.name, key=0, value=1, label=label)
+        return int(old)

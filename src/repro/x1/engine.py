@@ -1,0 +1,378 @@
+"""Discrete-event SPMD engine for the simulated Cray-X1.
+
+Each MSP rank runs a Python generator ("rank program") that yields
+:class:`Op` requests - compute for some virtual time, one-sided get/put,
+atomic fetch-add, mutex lock/unlock, barrier, memory fence (quiet), or
+shared-filesystem I/O.  The engine advances per-rank virtual clocks, resolves
+contention (remote-memory port occupancy, mutex queues, the serialized
+dynamic-load-balancing counter, shared I/O bandwidth) in virtual-time order,
+and gathers per-rank statistics.
+
+Numeric mode and trace mode share this engine: ops carry an optional real
+payload (numpy arrays read from / written to the symmetric heap) so the very
+same schedule either performs the real arithmetic (validated against the
+serial kernels) or only advances clocks at paper scale.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+import numpy as np
+
+from .machine import X1Config
+
+__all__ = ["Op", "SymmetricHeap", "RankStats", "Engine", "Proc"]
+
+
+@dataclass
+class Op:
+    """One request yielded by a rank program."""
+
+    kind: str
+    target: int = -1
+    name: str = ""
+    key: Any = None
+    value: Any = None
+    n_bytes: float = 0.0
+    seconds: float = 0.0
+    mutex: int = -1
+    write: bool = False
+    label: str = ""
+
+
+class SymmetricHeap:
+    """Named per-rank arrays (SHMEM-style symmetric allocation).
+
+    In numeric mode every rank's segment is a real numpy array; in trace mode
+    segments tagged numeric=False exist only as shapes.  Small control
+    arrays (locks, counters) are always real so synchronization semantics are
+    exact in both modes.
+    """
+
+    def __init__(self, n_ranks: int):
+        self.n_ranks = n_ranks
+        self._arrays: dict[str, list[np.ndarray | None]] = {}
+        self._shapes: dict[str, tuple[tuple[int, ...], Any]] = {}
+
+    def alloc(self, name: str, shape, dtype=np.float64, numeric: bool = True) -> None:
+        if name in self._arrays:
+            raise KeyError(f"heap segment {name!r} already allocated")
+        shape = tuple(int(s) for s in np.atleast_1d(shape))
+        self._shapes[name] = (shape, dtype)
+        if numeric:
+            self._arrays[name] = [np.zeros(shape, dtype=dtype) for _ in range(self.n_ranks)]
+        else:
+            self._arrays[name] = [None] * self.n_ranks
+
+    def alloc_per_rank(self, name: str, shapes: Iterable, dtype=np.float64, numeric: bool = True) -> None:
+        """Allocate with a different shape on every rank (block-distributed)."""
+        shapes = list(shapes)
+        if len(shapes) != self.n_ranks:
+            raise ValueError("need one shape per rank")
+        if name in self._arrays:
+            raise KeyError(f"heap segment {name!r} already allocated")
+        self._shapes[name] = (tuple(shapes[0]) if shapes else (), dtype)
+        if numeric:
+            self._arrays[name] = [np.zeros(s, dtype=dtype) for s in shapes]
+        else:
+            self._arrays[name] = [None] * self.n_ranks
+
+    def segment(self, name: str, rank: int) -> np.ndarray | None:
+        return self._arrays[name][rank]
+
+    def is_numeric(self, name: str) -> bool:
+        return self._arrays[name][0] is not None
+
+    def read(self, name: str, rank: int, key) -> np.ndarray | None:
+        arr = self._arrays[name][rank]
+        if arr is None:
+            return None
+        return np.array(arr[key] if key is not None else arr, copy=True)
+
+    def write(self, name: str, rank: int, key, value) -> None:
+        arr = self._arrays[name][rank]
+        if arr is None:
+            return
+        if key is None:
+            arr[...] = value
+        else:
+            arr[key] = value
+
+    def add(self, name: str, rank: int, key, value) -> None:
+        arr = self._arrays[name][rank]
+        if arr is None:
+            return
+        if key is None:
+            arr[...] += value
+        else:
+            arr[key] += value
+
+
+@dataclass
+class RankStats:
+    """Per-rank virtual-time accounting."""
+
+    compute: float = 0.0
+    communication: float = 0.0
+    wait: float = 0.0  # contention: lock queues, port busy, barrier skew
+    io: float = 0.0
+    bytes_sent: float = 0.0
+    bytes_received: float = 0.0
+    flops: float = 0.0
+    finish_time: float = 0.0
+    phase_times: dict[str, float] = field(default_factory=dict)
+    phase_flops: dict[str, float] = field(default_factory=dict)
+
+    def charge_phase(self, label: str, dt: float, flops: float = 0.0) -> None:
+        if label:
+            self.phase_times[label] = self.phase_times.get(label, 0.0) + dt
+            if flops:
+                self.phase_flops[label] = self.phase_flops.get(label, 0.0) + flops
+
+
+class Proc:
+    """Op constructors bound to one rank (syntactic sugar for programs)."""
+
+    def __init__(self, rank: int, n_ranks: int):
+        self.rank = rank
+        self.n_ranks = n_ranks
+
+    @staticmethod
+    def compute(seconds: float, flops: float = 0.0, label: str = "") -> Op:
+        return Op(kind="compute", seconds=float(seconds), value=flops, label=label)
+
+    @staticmethod
+    def get(target: int, name: str, key=None, n_bytes: float = 0.0, label: str = "") -> Op:
+        return Op(kind="get", target=target, name=name, key=key, n_bytes=n_bytes, label=label)
+
+    @staticmethod
+    def put(target: int, name: str, key=None, value=None, n_bytes: float = 0.0, label: str = "") -> Op:
+        return Op(kind="put", target=target, name=name, key=key, value=value, n_bytes=n_bytes, label=label)
+
+    @staticmethod
+    def fadd(target: int, name: str, key: int = 0, value: float = 1, label: str = "") -> Op:
+        return Op(kind="fadd", target=target, name=name, key=key, value=value, label=label)
+
+    @staticmethod
+    def lock(mutex: int, label: str = "") -> Op:
+        return Op(kind="lock", mutex=mutex, label=label)
+
+    @staticmethod
+    def unlock(mutex: int, label: str = "") -> Op:
+        return Op(kind="unlock", mutex=mutex, label=label)
+
+    @staticmethod
+    def barrier(label: str = "") -> Op:
+        return Op(kind="barrier", label=label)
+
+    @staticmethod
+    def quiet(label: str = "") -> Op:
+        return Op(kind="quiet", label=label)
+
+    @staticmethod
+    def io(n_bytes: float, write: bool, label: str = "io") -> Op:
+        return Op(kind="io", n_bytes=n_bytes, write=write, label=label)
+
+
+Program = Callable[[Proc, SymmetricHeap], Generator[Op, Any, None]]
+
+
+class Engine:
+    """Runs P rank programs to completion in virtual time."""
+
+    def __init__(self, config: X1Config, heap: SymmetricHeap):
+        if heap.n_ranks != config.n_msps:
+            raise ValueError("heap rank count must match config.n_msps")
+        self.config = config
+        self.heap = heap
+        self.n_ranks = config.n_msps
+        self.stats = [RankStats() for _ in range(self.n_ranks)]
+        self._port_free = [0.0] * self.n_ranks  # remote-memory port occupancy
+        self._io_free = 0.0  # shared filesystem
+        self._mutex_owner: dict[int, int] = {}
+        self._mutex_queue: dict[int, list[tuple[float, int]]] = {}
+        self._barrier_waiting: list[tuple[float, int]] = []
+        self._done = [False] * self.n_ranks
+        self._n_events = 0
+
+    def run(self, programs: list[Program]) -> list[RankStats]:
+        """Execute one program per rank; returns per-rank statistics."""
+        if len(programs) != self.n_ranks:
+            raise ValueError("need exactly one program per rank")
+        gens = []
+        for r, prog in enumerate(programs):
+            gens.append(prog(Proc(r, self.n_ranks), self.heap))
+        clocks = [0.0] * self.n_ranks
+        results: list[Any] = [None] * self.n_ranks
+        alive = self.n_ranks
+        queue: list[tuple[float, int, int]] = []
+        seq = 0
+        for r in range(self.n_ranks):
+            heapq.heappush(queue, (0.0, seq, r))
+            seq += 1
+        parked_done = [False] * self.n_ranks
+
+        while queue:
+            clock, _, rank = heapq.heappop(queue)
+            clocks[rank] = clock
+            try:
+                op = gens[rank].send(results[rank])
+            except StopIteration:
+                parked_done[rank] = True
+                self._done[rank] = True
+                self.stats[rank].finish_time = clock
+                alive -= 1
+                if self._barrier_waiting and len(self._barrier_waiting) == alive:
+                    self._release_barrier(queue, clocks, results)
+                    seq += len(clocks)
+                continue
+            results[rank] = None
+            self._n_events += 1
+            requeue_at = self._handle(op, rank, clocks, results, queue)
+            if requeue_at is not None:
+                heapq.heappush(queue, (requeue_at, seq, rank))
+                seq += 1
+        if alive > 0:
+            raise RuntimeError(
+                f"deadlock: {alive} ranks blocked (barrier/mutex mismatch)"
+            )
+        return self.stats
+
+    # -- op handling -------------------------------------------------------
+    def _handle(self, op: Op, rank: int, clocks, results, queue) -> float | None:
+        cfg = self.config
+        st = self.stats[rank]
+        now = clocks[rank]
+        if op.kind == "compute":
+            st.compute += op.seconds
+            st.flops += float(op.value or 0.0)
+            st.charge_phase(op.label, op.seconds, float(op.value or 0.0))
+            return now + op.seconds
+
+        if op.kind in ("get", "put"):
+            nbytes = float(op.n_bytes)
+            if not nbytes and op.name:
+                probe = self.heap.segment(op.name, op.target)
+                if probe is not None:
+                    sub = probe[op.key] if op.key is not None else probe
+                    nbytes = float(np.asarray(sub).nbytes)
+            start = now + cfg.transfer_latency(rank, op.target)
+            begin = start
+            if op.target != rank:
+                begin = max(start, self._port_free[op.target])
+            end = begin + cfg.transfer_time(rank, op.target, nbytes)
+            if op.target != rank:
+                self._port_free[op.target] = end
+            wait = begin - start
+            st.wait += wait
+            st.communication += end - now - wait
+            st.charge_phase(op.label, end - now)
+            if op.kind == "get":
+                st.bytes_received += nbytes
+                if op.name:
+                    results[rank] = self.heap.read(op.name, op.target, op.key)
+            else:
+                st.bytes_sent += nbytes
+                if op.name and op.value is not None:
+                    self.heap.write(op.name, op.target, op.key, op.value)
+            return end
+
+        if op.kind == "fadd":
+            start = now + cfg.transfer_latency(rank, op.target)
+            begin = max(start, self._port_free[op.target]) if op.target != rank else start
+            end = begin + cfg.atomic_overhead
+            if op.target != rank:
+                self._port_free[op.target] = end
+            st.wait += begin - start
+            st.communication += end - now - (begin - start)
+            st.charge_phase(op.label, end - now)
+            arr = self.heap.segment(op.name, op.target)
+            if arr is None:
+                raise RuntimeError("fadd requires a numeric heap segment")
+            old = arr[op.key]
+            arr[op.key] = old + op.value
+            results[rank] = old
+            return end
+
+        if op.kind == "lock":
+            mid = op.mutex
+            if mid not in self._mutex_owner:
+                self._mutex_owner[mid] = rank
+                end = now + cfg.atomic_overhead
+                st.communication += cfg.atomic_overhead
+                st.charge_phase(op.label, cfg.atomic_overhead)
+                return end
+            self._mutex_queue.setdefault(mid, []).append((now, rank))
+            return None  # parked until unlock
+
+        if op.kind == "unlock":
+            mid = op.mutex
+            if self._mutex_owner.get(mid) != rank:
+                raise RuntimeError(f"rank {rank} unlocking mutex {mid} it does not own")
+            del self._mutex_owner[mid]
+            end = now + cfg.atomic_overhead
+            st.communication += cfg.atomic_overhead
+            waiters = self._mutex_queue.get(mid)
+            if waiters:
+                wait_since, next_rank = waiters.pop(0)
+                self._mutex_owner[mid] = next_rank
+                grant = max(end, wait_since) + cfg.atomic_overhead
+                self.stats[next_rank].wait += grant - wait_since
+                clocks[next_rank] = grant
+                heapq.heappush(queue, (grant, self._n_events, next_rank))
+            return end
+
+        if op.kind == "barrier":
+            self._barrier_waiting.append((now, rank))
+            n_done = sum(self._done)
+            if len(self._barrier_waiting) == self.n_ranks - n_done:
+                self._release_barrier(queue, clocks, results)
+            return None
+
+        if op.kind == "quiet":
+            dt = self.config.latency_local
+            st.communication += dt
+            return now + dt
+
+        if op.kind == "io":
+            begin = max(now, self._io_free)
+            end = begin + cfg.io_time(op.n_bytes, op.write)
+            self._io_free = end
+            st.wait += begin - now
+            st.io += end - begin
+            st.charge_phase(op.label, end - now)
+            return end
+
+        raise ValueError(f"unknown op kind {op.kind!r}")
+
+    def _release_barrier(self, queue, clocks, results) -> None:
+        if not self._barrier_waiting:
+            return
+        t = max(w for w, _ in self._barrier_waiting) + self.config.latency_remote
+        for w, r in self._barrier_waiting:
+            self.stats[r].wait += t - w
+            clocks[r] = t
+            results[r] = None
+            heapq.heappush(queue, (t, self._n_events, r))
+            self._n_events += 1
+        self._barrier_waiting = []
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def n_events(self) -> int:
+        return self._n_events
+
+    def elapsed(self) -> float:
+        """Virtual wall-clock: the latest rank finish time."""
+        return max(s.finish_time for s in self.stats)
+
+    def aggregate_flops(self) -> float:
+        return sum(s.flops for s in self.stats)
+
+    def load_imbalance(self) -> float:
+        """Max finish time minus mean finish time across ranks."""
+        finishes = [s.finish_time for s in self.stats]
+        return max(finishes) - sum(finishes) / len(finishes)

@@ -1,0 +1,143 @@
+"""Cray-X1 machine model: topology and kernel cost functions.
+
+The X1 node has four multi-streaming processors (MSPs) sharing flat local
+memory; each MSP is four single-streaming vector processors (SSPs) plus a
+cache (the paper quotes 1 MB).  At 800 MHz with 16 floating-point results
+per clock an MSP peaks at 12.8 GFLOP/s.
+
+Kernel rates follow the paper and its ref. [20] (Worley & Dunigan, "Early
+evaluation of the Cray X1 at ORNL"):
+
+* DGEMM attains 10-11 GFLOP/s per MSP once matrices pass ~300x300 and ramps
+  up from small sizes - modeled as a saturating efficiency curve,
+* out-of-cache DAXPY realizes ~2 GFLOP/s per MSP (the MOC kernel's fate),
+* vector gather/scatter and block copies run at memory-stream rates,
+* indexed (gather-modify-scatter) updates run at a fraction of DAXPY.
+
+All times are seconds of virtual machine time; the discrete-event engine in
+:mod:`repro.x1.engine` advances per-MSP clocks with them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["X1Config"]
+
+
+@dataclass(frozen=True)
+class X1Config:
+    """Machine and kernel-rate parameters of the simulated Cray-X1."""
+
+    n_msps: int = 16
+    msps_per_node: int = 4
+    ssps_per_msp: int = 4
+    clock_hz: float = 800e6
+    flops_per_clock: float = 16.0  # per MSP: 4 SSPs x 2 pipes x MADD
+
+    cache_bytes: int = 1 << 20  # per MSP (paper section 3.1)
+
+    # computational kernel rates (per MSP)
+    dgemm_peak_fraction: float = 0.82  # asymptotic ~10.5 GF/s (paper: 10-11)
+    dgemm_half_size: float = 42.0  # effective matrix size at half efficiency
+    daxpy_out_of_cache: float = 2.0e9  # FLOP/s, paper ref [20]
+    daxpy_in_cache: float = 6.4e9
+    indexed_update_rate: float = 0.9e9  # updates/s: gather-modify-scatter
+    gather_rate: float = 2.5e9  # elements/s for vector gather/scatter
+    memory_bandwidth: float = 26e9  # bytes/s streaming per MSP
+    element_fn_rate: float = 0.5e9  # elements/s for vectorizable list work
+    scalar_element_rate: float = 25e6  # elements/s for scalar Slater-Condon
+    # element generation (the MOC same-spin routine's replicated work)
+
+    # interconnect (per-MSP effective rates)
+    node_bandwidth: float = 10.0e9  # bytes/s within an SMP node
+    link_bandwidth: float = 2.0e9  # bytes/s off node
+    latency_local: float = 1.5e-6  # s, one-sided op setup within node
+    latency_remote: float = 5.0e-6  # s, one-sided op setup across network
+    atomic_overhead: float = 2.0e-6  # s, SHMEM_SWAP / lock arbitration
+
+    # shared filesystem (paper Table 3: 293 MB/s read, 246 MB/s write)
+    io_read_bandwidth: float = 293e6
+    io_write_bandwidth: float = 246e6
+
+    def __post_init__(self) -> None:
+        if self.n_msps < 1:
+            raise ValueError("need at least one MSP")
+        if self.msps_per_node < 1:
+            raise ValueError("need at least one MSP per node")
+
+    # --- topology --------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return -(-self.n_msps // self.msps_per_node)
+
+    def node_of(self, rank: int) -> int:
+        return rank // self.msps_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FLOP/s of one MSP (12.8 GF/s for the default X1 numbers)."""
+        return self.clock_hz * self.flops_per_clock
+
+    @property
+    def aggregate_peak_flops(self) -> float:
+        return self.peak_flops * self.n_msps
+
+    # --- kernel time models ----------------------------------------------
+    def dgemm_rate(self, m: int, n: int, k: int) -> float:
+        """Effective DGEMM FLOP rate for an (m x k) @ (k x n) product."""
+        if min(m, n, k) <= 0:
+            return self.peak_flops
+        size = (float(m) * float(n) * float(k)) ** (1.0 / 3.0)
+        eff = self.dgemm_peak_fraction * size / (size + self.dgemm_half_size)
+        return self.peak_flops * eff
+
+    def dgemm_time(self, m: int, n: int, k: int) -> float:
+        flops = 2.0 * float(m) * float(n) * float(k)
+        return flops / self.dgemm_rate(m, n, k)
+
+    def daxpy_time(self, n_elements: float, in_cache: bool = False) -> float:
+        rate = self.daxpy_in_cache if in_cache else self.daxpy_out_of_cache
+        return 2.0 * float(n_elements) / rate
+
+    def indexed_update_time(self, n_updates: float) -> float:
+        """Indexed multiply-add (the MOC kernel)."""
+        return float(n_updates) / self.indexed_update_rate
+
+    def gather_time(self, n_elements: float) -> float:
+        """Local vector gather or scatter of n_elements doubles."""
+        return float(n_elements) / self.gather_rate
+
+    def copy_time(self, n_bytes: float) -> float:
+        return float(n_bytes) / self.memory_bandwidth
+
+    def stream_time(self, n_elements: float, n_passes: float = 1.0) -> float:
+        """Streaming vector operations (axpy-free passes over memory)."""
+        return 8.0 * float(n_elements) * float(n_passes) / self.memory_bandwidth
+
+    # --- communication time models ----------------------------------------
+    def transfer_time(self, src: int, dst: int, n_bytes: float) -> float:
+        if src == dst:
+            return self.copy_time(n_bytes)
+        bw = self.node_bandwidth if self.same_node(src, dst) else self.link_bandwidth
+        return float(n_bytes) / bw
+
+    def transfer_latency(self, src: int, dst: int) -> float:
+        if src == dst:
+            return 0.0
+        return self.latency_local if self.same_node(src, dst) else self.latency_remote
+
+    def io_time(self, n_bytes: float, write: bool) -> float:
+        """Shared-filesystem access (aggregate bandwidth, not per MSP)."""
+        bw = self.io_write_bandwidth if write else self.io_read_bandwidth
+        return float(n_bytes) / bw
+
+    def describe(self) -> str:
+        return (
+            f"X1Config({self.n_msps} MSPs on {self.n_nodes} nodes, "
+            f"{self.peak_flops / 1e9:.1f} GF/s per MSP, "
+            f"{self.aggregate_peak_flops / 1e12:.2f} TF/s aggregate)"
+        )

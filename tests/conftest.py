@@ -1,0 +1,87 @@
+"""Shared fixtures: cached molecules, AO integrals, and random MO integrals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.molecule import Molecule
+from repro.scf import compute_ao_integrals, rhf, transform
+from repro.scf.mo import MOIntegrals
+
+
+def make_random_mo(n: int, seed: int = 0) -> MOIntegrals:
+    """Random but physically-symmetric MO integrals (test Hamiltonians)."""
+    rng = np.random.default_rng(seed)
+    h = rng.standard_normal((n, n))
+    h = 0.5 * (h + h.T)
+    g = rng.standard_normal((n, n, n, n))
+    g = g + g.transpose(1, 0, 2, 3)
+    g = g + g.transpose(0, 1, 3, 2)
+    g = g + g.transpose(2, 3, 0, 1)
+    return MOIntegrals(h=h, g=g, e_core=0.0, n_orbitals=n)
+
+
+@pytest.fixture(scope="session")
+def h2():
+    return Molecule.from_atoms([("H", (0, 0, 0)), ("H", (0, 0, 1.4))], name="H2")
+
+
+@pytest.fixture(scope="session")
+def heh_plus():
+    return Molecule.from_atoms(
+        [("He", (0, 0, 0)), ("H", (0, 0, 1.4632))], charge=1, name="HeH+"
+    )
+
+
+@pytest.fixture(scope="session")
+def water():
+    # near-equilibrium geometry, bohr
+    return Molecule.from_atoms(
+        [
+            ("O", (0.0, 0.0, 0.2217)),
+            ("H", (0.0, 1.4309, -0.8867)),
+            ("H", (0.0, -1.4309, -0.8867)),
+        ],
+        name="H2O",
+    )
+
+
+@pytest.fixture(scope="session")
+def oxygen_triplet():
+    return Molecule.from_atoms([("O", (0, 0, 0))], multiplicity=3, name="O")
+
+
+@pytest.fixture(scope="session")
+def h2_ao(h2):
+    return compute_ao_integrals(h2, "sto-3g")
+
+
+@pytest.fixture(scope="session")
+def water_ao(water):
+    return compute_ao_integrals(water, "sto-3g")
+
+
+@pytest.fixture(scope="session")
+def h2_scf(h2, h2_ao):
+    return rhf(h2, h2_ao)
+
+
+@pytest.fixture(scope="session")
+def water_scf(water, water_ao):
+    return rhf(water, water_ao)
+
+
+@pytest.fixture(scope="session")
+def water_mo(water_ao, water_scf):
+    return transform(water_ao, water_scf.mo_coeff)
+
+
+@pytest.fixture(scope="session")
+def random_mo5():
+    return make_random_mo(5, seed=11)
+
+
+@pytest.fixture(scope="session")
+def random_mo6():
+    return make_random_mo(6, seed=23)

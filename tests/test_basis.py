@@ -1,0 +1,180 @@
+"""Tests for Gaussian basis shells and tabulated basis-set data."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.basis import (
+    BasisSet,
+    Shell,
+    atomic_number,
+    available_basis_sets,
+    build_basis,
+    cartesian_components,
+    even_tempered_shells,
+    n_cartesian,
+    primitive_norm,
+)
+from repro.integrals import overlap
+
+
+class TestCartesianComponents:
+    def test_s_shell_single_component(self):
+        assert cartesian_components(0) == [(0, 0, 0)]
+
+    def test_p_shell_order(self):
+        assert cartesian_components(1) == [(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+
+    def test_d_shell_has_six(self):
+        comps = cartesian_components(2)
+        assert len(comps) == 6
+        assert comps[0] == (2, 0, 0)
+        assert (1, 1, 0) in comps
+
+    @pytest.mark.parametrize("l,expected", [(0, 1), (1, 3), (2, 6), (3, 10), (4, 15)])
+    def test_component_count_formula(self, l, expected):
+        assert n_cartesian(l) == expected
+        assert len(cartesian_components(l)) == expected
+
+    def test_components_sum_to_l(self):
+        for l in range(5):
+            for i, j, k in cartesian_components(l):
+                assert i + j + k == l
+
+
+class TestPrimitiveNorm:
+    def test_s_norm_analytic(self):
+        # N^2 * (pi/(2a))^(3/2) = 1 for s
+        a = 0.7
+        n = primitive_norm(a, (0, 0, 0))
+        self_overlap = n * n * (math.pi / (2 * a)) ** 1.5
+        assert abs(self_overlap - 1.0) < 1e-12
+
+    def test_p_norm_analytic(self):
+        a = 1.3
+        n = primitive_norm(a, (1, 0, 0))
+        # <x e|x e> = N^2 * 1/(2*2a) * (pi/(2a))^(3/2)
+        self_overlap = n * n * (math.pi / (2 * a)) ** 1.5 / (4 * a)
+        assert abs(self_overlap - 1.0) < 1e-12
+
+    def test_higher_angular_momentum_positive(self):
+        for lmn in [(2, 0, 0), (1, 1, 0), (2, 1, 1)]:
+            assert primitive_norm(0.5, lmn) > 0
+
+
+class TestShell:
+    def test_requires_matching_lengths(self):
+        with pytest.raises(ValueError):
+            Shell(0, [1.0, 2.0], [1.0], np.zeros(3))
+
+    def test_rejects_negative_exponents(self):
+        with pytest.raises(ValueError):
+            Shell(0, [-1.0], [1.0], np.zeros(3))
+
+    def test_rejects_bad_center(self):
+        with pytest.raises(ValueError):
+            Shell(0, [1.0], [1.0], np.zeros(2))
+
+    def test_contracted_normalization_unit_self_overlap(self):
+        sh = Shell(0, [3.0, 0.8, 0.2], [0.3, 0.5, 0.4], np.zeros(3))
+        basis = BasisSet([sh])
+        S = overlap(basis)
+        assert abs(S[0, 0] - 1.0) < 1e-10
+
+    def test_p_shell_normalization(self):
+        sh = Shell(1, [1.2, 0.3], [0.6, 0.5], np.zeros(3))
+        S = overlap(BasisSet([sh]))
+        assert np.allclose(np.diag(S), 1.0, atol=1e-10)
+
+    def test_d_shell_diagonal_normalized(self):
+        sh = Shell(2, [0.9], [1.0], np.zeros(3))
+        S = overlap(BasisSet([sh]))
+        assert np.allclose(np.diag(S), 1.0, atol=1e-10)
+
+    def test_nfunc(self):
+        assert Shell(2, [1.0], [1.0], np.zeros(3)).nfunc == 6
+
+
+class TestBasisSet:
+    def test_function_count_h2_sto3g(self, h2):
+        basis = h2.basis("sto-3g")
+        assert basis.nbf == 2
+
+    def test_function_count_water_sto3g(self, water):
+        assert water.basis("sto-3g").nbf == 7
+
+    def test_function_count_water_631g(self, water):
+        # O: 3s + 2p(6) = 9; H: 2s each
+        assert water.basis("6-31g").nbf == 13
+
+    def test_shell_offsets_monotone(self, water):
+        basis = water.basis("sto-3g")
+        assert basis.shell_offsets == sorted(basis.shell_offsets)
+
+    def test_repr_mentions_count(self, h2):
+        assert "2 functions" in repr(h2.basis("sto-3g"))
+
+    def test_max_l(self, water):
+        assert water.basis("sto-3g").max_l() == 1
+
+
+class TestBasisData:
+    def test_atomic_numbers(self):
+        assert atomic_number("H") == 1
+        assert atomic_number("c") == 6
+        assert atomic_number("O") == 8
+
+    def test_unknown_element_raises(self):
+        with pytest.raises(KeyError):
+            atomic_number("Xx")
+
+    def test_available_sets(self):
+        names = available_basis_sets()
+        assert "sto-3g" in names and "6-31g" in names
+
+    def test_unknown_basis_raises(self):
+        with pytest.raises(KeyError):
+            build_basis([("H", np.zeros(3))], "nope-31g")
+
+    def test_sto3g_h_exponents(self):
+        basis = build_basis([("H", np.zeros(3))], "sto-3g")
+        # standard scaled values (zeta = 1.24)
+        assert np.allclose(
+            basis.shells[0].exponents,
+            [3.42525091, 0.62391373, 0.16885540],
+            rtol=1e-6,
+        )
+
+    def test_sto3g_oxygen_has_5_functions(self):
+        basis = build_basis([("O", np.zeros(3))], "sto-3g")
+        assert basis.nbf == 5  # 1s, 2s, 2px, 2py, 2pz
+
+    def test_631g_not_tabulated_for_helium(self):
+        with pytest.raises(KeyError):
+            build_basis([("He", np.zeros(3))], "6-31g")
+
+    def test_sto3g_not_tabulated_beyond_neon(self):
+        with pytest.raises(KeyError):
+            build_basis([("Na", np.zeros(3))], "sto-3g")
+
+
+class TestEvenTempered:
+    def test_shell_count(self):
+        shells = even_tempered_shells(np.zeros(3), n_s=4, n_p=2)
+        assert len(shells) == 6
+        assert sum(1 for s in shells if s.l == 1) == 2
+
+    def test_geometric_progression(self):
+        shells = even_tempered_shells(np.zeros(3), n_s=3, alpha0=0.2, beta=3.0)
+        exps = [float(s.exponents[0]) for s in shells]
+        assert np.allclose(exps, [0.2, 0.6, 1.8])
+
+    def test_beta_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            even_tempered_shells(np.zeros(3), beta=0.9)
+
+    def test_even_tempered_overlap_well_conditioned(self):
+        shells = even_tempered_shells(np.zeros(3), n_s=5, alpha0=0.1, beta=2.5)
+        S = overlap(BasisSet(shells))
+        assert np.linalg.cond(S) < 1e6

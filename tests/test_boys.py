@@ -1,0 +1,78 @@
+"""Tests for the Boys function."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.integrals import boys, boys_array
+
+
+class TestBoysValues:
+    def test_zero_argument(self):
+        # F_n(0) = 1 / (2n + 1)
+        for n in range(8):
+            assert abs(boys(n, 0.0) - 1.0 / (2 * n + 1)) < 1e-14
+
+    def test_f0_analytic(self):
+        # F_0(x) = sqrt(pi/(4x)) erf(sqrt(x))
+        for x in [0.1, 0.5, 1.0, 5.0, 20.0, 60.0]:
+            ref = 0.5 * math.sqrt(math.pi / x) * math.erf(math.sqrt(x))
+            assert abs(boys(0, x) - ref) < 1e-12 * max(1.0, ref)
+
+    def test_large_x_asymptotic(self):
+        # F_n(x) ~ (2n-1)!! / (2x)^n * 1/2 sqrt(pi/x)
+        x = 200.0
+        ref = 0.5 * math.sqrt(math.pi / x)
+        assert abs(boys(0, x) - ref) < 1e-10
+
+    def test_negative_argument_rejected(self):
+        with pytest.raises(ValueError):
+            boys(0, -1.0)
+        with pytest.raises(ValueError):
+            boys_array(2, -0.5)
+
+    def test_quadrature_reference(self):
+        # compare against direct numerical integration
+        from scipy.integrate import quad
+
+        for n in [0, 1, 3, 6]:
+            for x in [0.3, 2.7, 11.0]:
+                ref, _ = quad(lambda t: t ** (2 * n) * math.exp(-x * t * t), 0, 1)
+                assert abs(boys(n, x) - ref) < 1e-10
+
+
+class TestBoysArray:
+    def test_matches_direct(self):
+        for x in [0.0, 0.4, 3.0, 30.0]:
+            arr = boys_array(6, x)
+            for n in range(7):
+                assert abs(arr[n] - boys(n, x)) < 1e-10
+
+    def test_length(self):
+        assert boys_array(4, 1.0).shape == (5,)
+
+    @given(st.floats(min_value=0.0, max_value=100.0), st.integers(0, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_n(self, x, nmax):
+        # F_{n+1}(x) <= F_n(x): integrand shrinks with n on [0, 1]
+        arr = boys_array(nmax + 1, x)
+        assert np.all(np.diff(arr) <= 1e-15)
+
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, x):
+        # 0 < F_0 <= 1
+        v = boys(0, x)
+        assert 0.0 < v <= 1.0
+
+    @given(st.floats(min_value=1e-3, max_value=80.0), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_upward_recursion_consistency(self, x, n):
+        # F_{n-1} = (2x F_n + e^-x) / (2n - 1)
+        fn = boys(n, x)
+        fn_minus = boys(n - 1, x)
+        rec = (2 * x * fn + math.exp(-x)) / (2 * n - 1)
+        assert abs(rec - fn_minus) < 1e-9 * max(1.0, abs(fn_minus))

@@ -1,0 +1,113 @@
+"""Tests for the calibration ladder: MP2, CISD, CISD+Q against FCI."""
+
+import numpy as np
+import pytest
+
+from repro import FCISolver
+from repro.core import CIProblem, TruncatedCI, cisd, mp2_energy
+from repro.scf import freeze_core
+
+
+@pytest.fixture(scope="module")
+def water_setup(water, water_ao, water_scf, water_mo):
+    nf = 1
+    mo = freeze_core(water_mo, nf)
+    nocc = water.n_electrons // 2 - nf
+    prob = CIProblem(mo, nocc, nocc)
+    return water_scf, mo, nocc, prob
+
+
+class TestMP2:
+    def test_negative_correlation(self, water_scf, water_setup):
+        scf, mo, nocc, _ = water_setup
+        e2 = mp2_energy(mo, scf.mo_energy[1:], nocc)
+        assert e2 < 0
+
+    def test_bounded_by_fci(self, water, water_setup):
+        scf, mo, nocc, prob = water_setup
+        e2 = mp2_energy(mo, scf.mo_energy[1:], nocc)
+        fci = FCISolver(water, "sto-3g", frozen_core=1).run()
+        # MP2 recovers a sizeable fraction of the FCI correlation energy
+        fci_corr = fci.energy - scf.energy
+        assert 0.4 < e2 / fci_corr < 1.3
+
+    def test_h2_mp2_exact_limit_not_reached(self, h2, h2_ao, h2_scf):
+        from repro.scf import transform
+
+        mo = transform(h2_ao, h2_scf.mo_coeff)
+        e2 = mp2_energy(mo, h2_scf.mo_energy, 1)
+        fci = FCISolver(h2, "sto-3g").run()
+        assert e2 < 0
+        assert e2 > fci.energy - h2_scf.energy  # MP2 above FCI correlation
+
+    def test_validation(self, water_setup):
+        _, mo, _, _ = water_setup
+        with pytest.raises(ValueError):
+            mp2_energy(mo, np.zeros(mo.n_orbitals), 0)
+        with pytest.raises(ValueError):
+            mp2_energy(mo, np.zeros(3), 2)
+
+
+class TestTruncatedCI:
+    def test_dimension_hierarchy(self, water_setup):
+        *_, prob = water_setup
+        dims = [TruncatedCI(prob, k).dimension for k in range(0, 5)]
+        assert dims[0] == 1
+        assert all(a < b for a, b in zip(dims, dims[1:]))
+
+    def test_full_truncation_is_fci(self, water, water_setup):
+        *_, prob = water_setup
+        full = TruncatedCI(prob, prob.n_alpha + prob.n_beta)
+        assert full.dimension == prob.dimension
+        res = full.solve()
+        ref = FCISolver(water, "sto-3g", frozen_core=1).run()
+        assert abs(res.energy - ref.energy) < 1e-7
+
+    def test_variational_ladder(self, water, water_setup):
+        scf, mo, nocc, prob = water_setup
+        e_cis = TruncatedCI(prob, 1).solve().energy
+        e_cisd = TruncatedCI(prob, 2).solve().energy
+        e_cisdt = TruncatedCI(prob, 3).solve().energy
+        ref = FCISolver(water, "sto-3g", frozen_core=1).run().energy
+        # monotone variational convergence toward FCI
+        assert e_cis >= e_cisd - 1e-10
+        assert e_cisd >= e_cisdt - 1e-10
+        assert e_cisdt >= ref - 1e-10
+
+    def test_cis_brillouin(self, water_setup):
+        # Brillouin theorem: singles alone give no correlation for RHF refs
+        scf, mo, nocc, prob = water_setup
+        res = TruncatedCI(prob, 1).solve()
+        assert abs(res.energy - scf.energy) < 1e-7
+
+    def test_negative_level_rejected(self, water_setup):
+        *_, prob = water_setup
+        with pytest.raises(ValueError):
+            TruncatedCI(prob, -1)
+
+    def test_projection_idempotent(self, water_setup):
+        *_, prob = water_setup
+        t = TruncatedCI(prob, 2)
+        C = prob.random_vector(0)
+        assert np.allclose(t.project(t.project(C)), t.project(C))
+
+
+class TestCISDQ:
+    def test_q_correction_sign(self, water_setup):
+        *_, prob = water_setup
+        result, q = cisd(prob)
+        assert result.solve.converged
+        assert q < 0  # lowers the energy toward FCI
+
+    def test_q_improves_on_cisd(self, water, water_setup):
+        *_, prob = water_setup
+        result, q = cisd(prob)
+        ref = FCISolver(water, "sto-3g", frozen_core=1).run().energy
+        err_cisd = abs(result.energy - ref)
+        err_q = abs(result.energy + q - ref)
+        assert err_q < err_cisd
+
+    def test_c0_dominant_for_water(self, water_setup):
+        *_, prob = water_setup
+        result, _ = cisd(prob)
+        assert result.c0 > 0.95  # single-reference molecule

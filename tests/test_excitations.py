@@ -1,0 +1,138 @@
+"""Tests for excitation tables against brute-force operator application."""
+
+import numpy as np
+import pytest
+
+from repro.core import DoubleAnnihilationTable, SingleExcitationTable, StringSpace
+from repro.core.excitations import SingleAnnihilationTable
+from repro.core.hamiltonian import apply_annihilation, apply_creation
+
+
+def brute_epq(space: StringSpace, p: int, q: int) -> np.ndarray:
+    """Dense E_pq = a+_p a_q built directly from operator application."""
+    M = np.zeros((space.size, space.size))
+    for j in range(space.size):
+        m1, s1 = apply_annihilation(int(space.masks[j]), q)
+        if s1 == 0:
+            continue
+        m2, s2 = apply_creation(m1, p)
+        if s2 == 0:
+            continue
+        M[space.index(m2), j] = s1 * s2
+    return M
+
+
+class TestSingleExcitationTable:
+    @pytest.mark.parametrize("n,k", [(4, 2), (5, 3), (6, 1), (5, 5)])
+    def test_matches_brute_force(self, n, k):
+        space = StringSpace(n, k)
+        table = SingleExcitationTable(space)
+        for p in range(n):
+            for q in range(n):
+                assert np.array_equal(
+                    table.as_dense_operator(p, q), brute_epq(space, p, q)
+                )
+
+    def test_entry_count(self):
+        n, k = 6, 3
+        table = SingleExcitationTable(StringSpace(n, k))
+        # per string: k annihilations x (n - k + 1) creations
+        assert table.n_entries == StringSpace(n, k).size * k * (n - k + 1)
+
+    def test_diagonal_entries_present(self):
+        table = SingleExcitationTable(StringSpace(4, 2))
+        rows = table.rows_for_pq(1, 1)
+        # E_11 acts diagonally on strings containing orbital 1
+        assert rows.size == 3  # C(3,1) strings contain orbital 1
+        assert np.all(table.sign[rows] == 1)
+        assert np.array_equal(table.source[rows], table.target[rows])
+
+    def test_commutator_identity(self):
+        # [E_pq, E_rs] = delta_qr E_ps - delta_ps E_rq
+        space = StringSpace(5, 2)
+        table = SingleExcitationTable(space)
+        rng = np.random.default_rng(0)
+        for _ in range(6):
+            p, q, r, s = rng.integers(0, 5, size=4)
+            Epq = table.as_dense_operator(p, q)
+            Ers = table.as_dense_operator(r, s)
+            comm = Epq @ Ers - Ers @ Epq
+            expected = np.zeros_like(comm)
+            if q == r:
+                expected += table.as_dense_operator(p, s)
+            if p == s:
+                expected -= table.as_dense_operator(r, q)
+            assert np.allclose(comm, expected)
+
+    def test_number_operator_sum(self):
+        # sum_p E_pp = k * identity
+        space = StringSpace(5, 3)
+        table = SingleExcitationTable(space)
+        total = sum(table.as_dense_operator(p, p) for p in range(5))
+        assert np.allclose(total, 3 * np.eye(space.size))
+
+
+class TestDoubleAnnihilationTable:
+    def test_requires_two_electrons(self):
+        with pytest.raises(ValueError):
+            DoubleAnnihilationTable(StringSpace(4, 1))
+
+    def test_entry_count(self):
+        n, k = 6, 3
+        table = DoubleAnnihilationTable(StringSpace(n, k))
+        assert table.n_entries == StringSpace(n, k).size * k * (k - 1) // 2
+
+    @pytest.mark.parametrize("n,k", [(4, 2), (5, 3), (6, 4)])
+    def test_signs_match_operator_application(self, n, k):
+        space = StringSpace(n, k)
+        table = DoubleAnnihilationTable(space)
+        red = table.reduced_space
+        for e in range(table.n_entries):
+            j = int(table.source[e])
+            q, s = int(table.q[e]), int(table.s[e])
+            assert q > s
+            m1, s1 = apply_annihilation(int(space.masks[j]), q)
+            m2, s2 = apply_annihilation(m1, s)
+            assert red.index(m2) == int(table.target[e])
+            assert s1 * s2 == int(table.sign[e])
+
+    def test_pair_indexing(self):
+        table = DoubleAnnihilationTable(StringSpace(5, 2))
+        for e in range(table.n_entries):
+            q, s = int(table.q[e]), int(table.s[e])
+            assert int(table.pair[e]) == q * (q - 1) // 2 + s
+
+    def test_unique_keys(self):
+        # (pair, K) determines the source string uniquely - the property the
+        # DGEMM gather relies on
+        table = DoubleAnnihilationTable(StringSpace(6, 3))
+        keys = table.pair * table.reduced_space.size + table.target
+        assert len(np.unique(keys)) == table.n_entries
+
+    def test_entries_source_major(self):
+        table = DoubleAnnihilationTable(StringSpace(6, 3))
+        assert np.all(np.diff(table.source) >= 0)
+
+
+class TestSingleAnnihilationTable:
+    def test_entry_count(self):
+        table = SingleAnnihilationTable(StringSpace(5, 2))
+        assert table.n_entries == 10 * 2
+
+    def test_signs(self):
+        space = StringSpace(5, 3)
+        table = SingleAnnihilationTable(space)
+        for e in range(table.n_entries):
+            m, s = apply_annihilation(int(space.masks[table.source[e]]), int(table.orb[e]))
+            assert s == int(table.sign[e])
+            assert table.reduced_space.index(m) == int(table.target[e])
+
+    def test_rows_for_orbital_partition(self):
+        space = StringSpace(6, 2)
+        table = SingleAnnihilationTable(space)
+        total = sum(table.rows_for_orbital(p).size for p in range(6))
+        assert total == table.n_entries
+
+    def test_requires_one_electron(self):
+        with pytest.raises(ValueError):
+            SingleAnnihilationTable(StringSpace(4, 0))

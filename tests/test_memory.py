@@ -1,0 +1,69 @@
+"""Tests for the memory-footprint model (paper section 2.2)."""
+
+import pytest
+
+from repro.core import davidson_io_penalty, method_footprints
+from repro.x1 import X1Config
+
+
+class TestFootprints:
+    def test_three_methods(self):
+        fps = method_footprints(1e9, 128)
+        assert len(fps) == 3
+        assert fps[0].method.startswith("davidson")
+
+    def test_davidson_dominates(self):
+        fps = method_footprints(64_931_348_928, 432)
+        dav, olsen, auto = fps
+        assert dav.total_bytes > olsen.total_bytes
+        assert olsen.total_bytes == auto.total_bytes  # both single-vector
+
+    def test_per_msp_scaling(self):
+        a = method_footprints(1e9, 100)[0]
+        b = method_footprints(1e9, 200)[0]
+        assert abs(a.bytes_per_msp - 2 * b.bytes_per_msp) < 1e-6
+
+    def test_subspace_parameter(self):
+        small = method_footprints(1e9, 10, davidson_subspace=4)[0]
+        big = method_footprints(1e9, 10, davidson_subspace=20)[0]
+        assert big.total_bytes > small.total_bytes
+
+    def test_fits(self):
+        fp = method_footprints(1e6, 4)[2]
+        assert fp.fits(1e12)
+        assert not fp.fits(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            method_footprints(0, 4)
+        with pytest.raises(ValueError):
+            method_footprints(1e6, 0)
+
+    def test_c2_paper_scale_sanity(self):
+        # C2: single-vector total ~ 4 vectors x 65e9 x 8 B = ~2 TB; the X1
+        # at ORNL had enough aggregate memory for that but not for a
+        # 13-vector Davidson subspace + sigma images (~13 TB)
+        fps = method_footprints(64_931_348_928, 432)
+        assert 1e12 < fps[2].total_bytes < 4e12
+        assert fps[0].total_bytes > 1e13
+
+
+class TestIOPenalty:
+    def test_positive_and_scaling(self):
+        cfg = X1Config()
+        p1 = davidson_io_penalty(1e9, cfg)
+        p2 = davidson_io_penalty(2e9, cfg)
+        assert p1 > 0
+        assert abs(p2 - 2 * p1) < 1e-6
+
+    def test_subspace_scaling(self):
+        cfg = X1Config()
+        a = davidson_io_penalty(1e9, cfg, davidson_subspace=6)
+        b = davidson_io_penalty(1e9, cfg, davidson_subspace=24)
+        assert b > 2 * a
+
+    def test_c2_io_infeasible(self):
+        # the paper's point: disk-backed subspaces waste the machine
+        penalty = davidson_io_penalty(64_931_348_928, X1Config())
+        compute = 25 * 249.0  # the actual single-vector run
+        assert penalty > 10 * compute

@@ -1,0 +1,74 @@
+"""Tests for molecular geometry handling."""
+
+import numpy as np
+import pytest
+
+from repro.molecule import Molecule
+from repro.molecule.geometry import ANGSTROM_TO_BOHR, Atom
+
+
+class TestAtom:
+    def test_atomic_number(self):
+        assert Atom("O", (0, 0, 0)).Z == 8
+
+    def test_frozen(self):
+        a = Atom("H", (0, 0, 0))
+        with pytest.raises(AttributeError):
+            a.symbol = "He"
+
+
+class TestMolecule:
+    def test_electron_count_neutral(self, water):
+        assert water.n_electrons == 10
+
+    def test_electron_count_charged(self):
+        mol = Molecule.from_atoms([("C", (0, 0, 0)), ("N", (0, 0, 2.2))], charge=1)
+        assert mol.n_electrons == 12
+
+    def test_alpha_beta_singlet(self, water):
+        assert water.n_alpha == 5 and water.n_beta == 5
+
+    def test_alpha_beta_triplet(self, oxygen_triplet):
+        assert oxygen_triplet.n_alpha == 5
+        assert oxygen_triplet.n_beta == 3
+
+    def test_doublet(self):
+        mol = Molecule.from_atoms([("H", (0, 0, 0))], multiplicity=2)
+        assert (mol.n_alpha, mol.n_beta) == (1, 0)
+
+    def test_inconsistent_multiplicity_rejected(self):
+        with pytest.raises(ValueError):
+            Molecule.from_atoms([("H", (0, 0, 0)), ("H", (0, 0, 1))], multiplicity=2)
+
+    def test_zero_multiplicity_rejected(self):
+        with pytest.raises(ValueError):
+            Molecule.from_atoms([("H", (0, 0, 0))], multiplicity=0)
+
+    def test_nuclear_repulsion_h2(self, h2):
+        assert abs(h2.nuclear_repulsion() - 1.0 / 1.4) < 1e-12
+
+    def test_nuclear_repulsion_scaling(self):
+        mol = Molecule.from_atoms([("He", (0, 0, 0)), ("He", (0, 0, 2.0))])
+        assert abs(mol.nuclear_repulsion() - 4.0 / 2.0) < 1e-12
+
+    def test_coincident_atoms_raise(self):
+        mol = Molecule.from_atoms([("H", (0, 0, 0)), ("H", (0, 0, 0))])
+        with pytest.raises(ValueError):
+            mol.nuclear_repulsion()
+
+    def test_angstrom_conversion(self):
+        mol = Molecule.from_atoms(
+            [("H", (0, 0, 0)), ("H", (0, 0, 0.74))], unit="angstrom"
+        )
+        z = mol.coordinates()[1, 2]
+        assert abs(z - 0.74 * ANGSTROM_TO_BOHR) < 1e-12
+
+    def test_charges_list(self, water):
+        charges = water.charges()
+        assert [z for z, _ in charges] == [8.0, 1.0, 1.0]
+
+    def test_basis_builder(self, water):
+        assert water.basis("sto-3g").nbf == 7
+
+    def test_repr(self, water):
+        assert "10 electrons" in repr(water)

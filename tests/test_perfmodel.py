@@ -1,0 +1,50 @@
+"""Tests for the Table-1 analytic performance model."""
+
+import pytest
+
+from repro.core import CIProblem
+from repro.parallel import alpha_beta_model, measured_counts
+from tests.conftest import make_random_mo
+
+
+class TestModel:
+    def test_paper_c2_comm_volume(self):
+        # DGEMM comm: 3 Nci na elements = 6.2 TB for the C2 benchmark
+        row = alpha_beta_model("C2", 66, 4, 4, 64_931_348_928)
+        assert abs(row.dgemm_comm_elements * 8 - 6.23e12) / 6.23e12 < 0.01
+
+    def test_moc_comm_much_larger(self):
+        row = alpha_beta_model("O", 43, 5, 4, 14_851_999_576)
+        assert row.comm_ratio > 10  # paper: ~25x reduction
+
+    def test_operation_counts_comparable_for_large_basis(self):
+        # paper: for O/aug-cc-pVQZ the op-count difference is insignificant
+        row = alpha_beta_model("O", 43, 5, 3, 1.48e9)
+        assert 0.3 < row.operation_ratio < 3.0
+
+    def test_operation_ratio_small_basis(self):
+        # in a minimal basis MOC does fewer operations (the DGEMM algorithm
+        # wins on kernel speed, not operation count)
+        row = alpha_beta_model("minimal", 10, 5, 5, 63504)
+        assert row.operation_ratio < 1.0
+
+
+class TestMeasured:
+    def test_counters_and_agreement(self):
+        mo = make_random_mo(5, seed=8)
+        prob = CIProblem(mo, 2, 2)
+        out = measured_counts(prob)
+        assert out["dgemm"]["dgemm_flops"] > 0
+        assert out["moc"]["indexed_ops"] > 0
+        assert out["agreement_error"] < 1e-9
+
+    def test_moc_indexed_ops_track_model(self):
+        # measured indexed ops should scale like the model's operation count
+        mo = make_random_mo(6, seed=9)
+        p1 = CIProblem(mo, 2, 2)
+        p2 = CIProblem(mo, 3, 3)
+        c1 = measured_counts(p1)["moc"]["indexed_ops"]
+        c2 = measured_counts(p2)["moc"]["indexed_ops"]
+        m1 = alpha_beta_model("a", 6, 2, 2, p1.dimension).moc_operations
+        m2 = alpha_beta_model("b", 6, 3, 3, p2.dimension).moc_operations
+        assert 0.3 < (c2 / c1) / (m2 / m1) < 3.0

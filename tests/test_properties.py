@@ -1,0 +1,101 @@
+"""Tests for multipole integrals and CI dipole moments."""
+
+import numpy as np
+import pytest
+
+from repro import FCISolver, Molecule
+from repro.core import CIProblem, dipole_moment
+from repro.integrals.multipole import dipole as dipole_integrals
+from repro.scf import freeze_core
+
+
+class TestDipoleIntegrals:
+    def test_symmetric(self, water):
+        D = dipole_integrals(water.basis("sto-3g"))
+        for c in range(3):
+            assert np.allclose(D[c], D[c].T, atol=1e-12)
+
+    def test_single_gaussian_centered(self):
+        # <s| r - A |s> = 0 for a gaussian centered at A with origin at A
+        from repro.basis import BasisSet, Shell
+
+        basis = BasisSet([Shell(0, [0.8], [1.0], np.array([0.5, -0.3, 1.1]))])
+        D = dipole_integrals(basis, origin=(0.5, -0.3, 1.1))
+        assert np.allclose(D, 0.0, atol=1e-13)
+
+    def test_origin_shift_identity(self, h2):
+        # <mu| r - C |nu> = <mu| r |nu> - C S
+        from repro.integrals import overlap
+
+        basis = h2.basis("sto-3g")
+        S = overlap(basis)
+        D0 = dipole_integrals(basis, origin=(0, 0, 0))
+        C = np.array([0.3, -0.7, 1.9])
+        DC = dipole_integrals(basis, origin=C)
+        for c in range(3):
+            assert np.allclose(DC[c], D0[c] - C[c] * S, atol=1e-12)
+
+    def test_sp_block_values(self):
+        # <s|x|px> on one center = 1/(2 sqrt(a)) for normalized primitives
+        from repro.basis import BasisSet, Shell
+
+        a = 1.3
+        basis = BasisSet(
+            [Shell(0, [a], [1.0], np.zeros(3)), Shell(1, [a], [1.0], np.zeros(3))]
+        )
+        D = dipole_integrals(basis)
+        ref = 1.0 / (2.0 * np.sqrt(a))
+        assert abs(D[0, 0, 1] - ref) < 1e-12  # x with px
+        assert abs(D[1, 0, 2] - ref) < 1e-12  # y with py
+        assert abs(D[0, 0, 2]) < 1e-13  # x with py vanishes
+
+
+class TestCIDipole:
+    def test_water_fci_dipole(self, water):
+        res = FCISolver(water, "sto-3g", frozen_core=1).run()
+        mu = dipole_moment(
+            water, "sto-3g", res.scf.mo_coeff, res.problem, res.vector, n_frozen=1
+        )
+        # symmetry: dipole along the C2 (z) axis only
+        assert abs(mu[0]) < 1e-8 and abs(mu[1]) < 1e-8
+        # STO-3G water dipole magnitude ~0.6-0.7 a.u.
+        assert 0.4 < abs(mu[2]) < 0.9
+
+    def test_homonuclear_dipole_vanishes(self, h2):
+        res = FCISolver(h2, "sto-3g").run()
+        mu = dipole_moment(h2, "sto-3g", res.scf.mo_coeff, res.problem, res.vector)
+        assert np.linalg.norm(mu) < 1e-8
+
+    def test_charge_translation_consistency(self):
+        # for a neutral molecule the dipole is origin-independent: shift the
+        # whole molecule and the dipole must not change
+        def build(shift):
+            return Molecule.from_atoms(
+                [
+                    ("O", (0.0, 0.0, 0.2217 + shift)),
+                    ("H", (0.0, 1.4309, -0.8867 + shift)),
+                    ("H", (0.0, -1.4309, -0.8867 + shift)),
+                ]
+            )
+
+        mus = []
+        for shift in [0.0, 3.0]:
+            mol = build(shift)
+            res = FCISolver(mol, "sto-3g", frozen_core=1).run()
+            mus.append(
+                dipole_moment(
+                    mol, "sto-3g", res.scf.mo_coeff, res.problem, res.vector, 1
+                )
+            )
+        assert np.allclose(mus[0], mus[1], atol=1e-6)
+
+    def test_fci_dipole_differs_from_scf(self, water):
+        # electron correlation changes the dipole (slightly, for water)
+        res = FCISolver(water, "sto-3g", frozen_core=1).run()
+        mu_fci = dipole_moment(
+            water, "sto-3g", res.scf.mo_coeff, res.problem, res.vector, 1
+        )
+        hf = np.zeros(res.problem.shape)
+        hf[0, 0] = 1.0
+        mu_hf = dipole_moment(water, "sto-3g", res.scf.mo_coeff, res.problem, hf, 1)
+        assert 1e-4 < abs(mu_fci[2] - mu_hf[2]) < 0.2

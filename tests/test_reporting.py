@@ -1,0 +1,33 @@
+"""Tests for the text reporting helpers."""
+
+from repro.analysis import format_series, format_table, paper_comparison
+
+
+class TestFormatTable:
+    def test_basic(self):
+        out = format_table(["a", "b"], [[1, 2.5], ["x", 3.0]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["q"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_alignment(self):
+        out = format_table(["col"], [[123456], [1]])
+        rows = out.splitlines()[-2:]
+        assert len(rows[0]) == len(rows[1])
+
+
+class TestFormatSeries:
+    def test_columns(self):
+        out = format_series("P", [16, 32], {"moc": [1.0, 2.0], "dgemm": [0.5, 0.25]})
+        assert "moc" in out and "dgemm" in out
+        assert "16" in out and "32" in out
+
+
+class TestPaperComparison:
+    def test_three_columns(self):
+        out = paper_comparison([("time/iter", 249.0, 250.1)])
+        assert "paper" in out and "this repo" in out

@@ -1,0 +1,171 @@
+"""Tests for RHF / ROHF and the MO transformation."""
+
+import numpy as np
+import pytest
+
+from repro.molecule import Molecule, PointGroup, ao_representation
+from repro.scf import compute_ao_integrals, freeze_core, rhf, rohf, transform
+from repro.scf.rhf import DIIS
+
+
+class TestRHF:
+    def test_h2_sto3g_energy(self, h2_scf):
+        # Szabo & Ostlund: E(RHF/STO-3G, R=1.4) = -1.1167 Eh
+        assert abs(h2_scf.energy - (-1.11671)) < 2e-4
+
+    def test_h2_converged(self, h2_scf):
+        assert h2_scf.converged
+        assert h2_scf.n_iterations < 30
+
+    def test_water_sto3g_energy_range(self, water_scf):
+        # literature HF/STO-3G water near equilibrium: about -74.96 Eh
+        assert -75.05 < water_scf.energy < -74.85
+
+    def test_orbitals_orthonormal(self, water_ao, water_scf):
+        C, S = water_scf.mo_coeff, water_ao.S
+        assert np.allclose(C.T @ S @ C, np.eye(C.shape[1]), atol=1e-8)
+
+    def test_density_idempotent(self, water_ao, water_scf):
+        # P S P = 2 P for the RHF total density P
+        P, S = water_scf.density, water_ao.S
+        assert np.allclose(P @ S @ P, 2 * P, atol=1e-6)
+
+    def test_density_trace_is_electron_count(self, water, water_ao, water_scf):
+        assert abs(np.trace(water_scf.density @ water_ao.S) - water.n_electrons) < 1e-8
+
+    def test_virial_ratio(self, h2, h2_ao, h2_scf):
+        from repro.integrals import kinetic
+
+        T = kinetic(h2.basis("sto-3g"))
+        ekin = float(np.sum(h2_scf.density * T))
+        ratio = -(h2_scf.energy - ekin) / ekin
+        assert abs(ratio - 2.0) < 0.1  # near equilibrium
+
+    def test_aufbau_energy_ordering(self, water_scf):
+        assert np.all(np.diff(water_scf.mo_energy) > -1e-10)
+
+    def test_open_shell_rejected(self, oxygen_triplet):
+        ao = compute_ao_integrals(oxygen_triplet, "sto-3g")
+        with pytest.raises(ValueError):
+            rhf(oxygen_triplet, ao)
+
+    def test_no_diis_still_converges(self, h2, h2_ao):
+        res = rhf(h2, h2_ao, diis=False)
+        assert res.converged
+        assert abs(res.energy - (-1.11671)) < 2e-4
+
+
+class TestDIIS:
+    def test_first_update_passthrough(self):
+        diis = DIIS()
+        F = np.eye(2)
+        D = 0.5 * np.eye(2)
+        S = np.eye(2)
+        Fout, err = diis.update(F, D, S, np.eye(2))
+        assert np.allclose(Fout, F)
+        assert err >= 0
+
+    def test_window_limit(self):
+        diis = DIIS(max_vectors=3)
+        rng = np.random.default_rng(0)
+        for _ in range(6):
+            F = rng.standard_normal((3, 3))
+            D = rng.standard_normal((3, 3))
+            diis.update(F, D, np.eye(3), np.eye(3))
+        assert len(diis._focks) == 3
+
+
+class TestROHF:
+    def test_oxygen_triplet_energy(self, oxygen_triplet):
+        ao = compute_ao_integrals(oxygen_triplet, "sto-3g")
+        res = rohf(oxygen_triplet, ao)
+        assert res.converged
+        # ROHF/STO-3G O(3P) is around -73.8 Eh
+        assert -74.5 < res.energy < -73.0
+
+    def test_rohf_above_core_only_bound(self, oxygen_triplet):
+        # electron repulsion is positive, so E(ROHF) must exceed the
+        # repulsion-free bound from filling core-Hamiltonian eigenvalues
+        ao = compute_ao_integrals(oxygen_triplet, "sto-3g")
+        res = rohf(oxygen_triplet, ao)
+        eps = np.linalg.eigvalsh(ao.hcore)
+        core_energy = 2 * eps[:3].sum() + eps[3] + eps[4]
+        assert res.energy > core_energy
+
+    def test_rohf_orbitals_orthonormal(self, oxygen_triplet):
+        ao = compute_ao_integrals(oxygen_triplet, "sto-3g")
+        res = rohf(oxygen_triplet, ao)
+        C = res.mo_coeff
+        assert np.allclose(C.T @ ao.S @ C, np.eye(C.shape[1]), atol=1e-8)
+
+    def test_rohf_requires_high_spin(self, water, water_ao):
+        # singlet still runs through rohf path (na == nb) and matches rhf
+        res = rohf(water, water_ao)
+        ref = rhf(water, water_ao)
+        assert abs(res.energy - ref.energy) < 1e-6
+
+    def test_symmetry_averaged_rohf(self, oxygen_triplet):
+        ao = compute_ao_integrals(oxygen_triplet, "sto-3g")
+        group = PointGroup.get("D2h")
+        basis = oxygen_triplet.basis("sto-3g")
+        ops = [
+            ao_representation(basis, oxygen_triplet.coordinates(), g)
+            for g in group.ops
+        ]
+        res = rohf(oxygen_triplet, ao, symmetry_ops=ops)
+        assert res.converged
+
+
+class TestMOTransform:
+    def test_h_symmetric(self, water_mo):
+        assert np.allclose(water_mo.h, water_mo.h.T, atol=1e-10)
+
+    def test_g_symmetries(self, water_mo):
+        water_mo.validate_symmetries()
+
+    def test_hf_energy_from_mo_integrals(self, water, water_mo, water_scf):
+        # E_HF = 2 sum_i h_ii + sum_ij (2 (ii|jj) - (ij|ji)) + e_core
+        nocc = water.n_electrons // 2
+        o = slice(0, nocc)
+        e = 2 * np.trace(water_mo.h[o, o])
+        e += 2 * np.einsum("iijj->", water_mo.g[o, o, o, o])
+        e -= np.einsum("ijji->", water_mo.g[o, o, o, o])
+        assert abs(e + water_mo.e_core - water_scf.energy) < 1e-8
+
+    def test_dimension_mismatch_rejected(self):
+        from repro.scf.mo import MOIntegrals
+
+        with pytest.raises(ValueError):
+            MOIntegrals(h=np.zeros((2, 2)), g=np.zeros((3,) * 4), e_core=0.0, n_orbitals=2)
+
+
+class TestFrozenCore:
+    def test_identity_when_nothing_frozen(self, water_mo):
+        assert freeze_core(water_mo, 0) is water_mo
+
+    def test_dimensions(self, water_mo):
+        fc = freeze_core(water_mo, 1)
+        assert fc.n_orbitals == water_mo.n_orbitals - 1
+        assert fc.g.shape == (6, 6, 6, 6)
+
+    def test_hf_energy_preserved(self, water, water_mo, water_scf):
+        # freezing occupied orbitals must preserve the HF determinant energy
+        fc = freeze_core(water_mo, 2)
+        nocc = water.n_electrons // 2 - 2
+        o = slice(0, nocc)
+        e = 2 * np.trace(fc.h[o, o])
+        e += 2 * np.einsum("iijj->", fc.g[o, o, o, o])
+        e -= np.einsum("ijji->", fc.g[o, o, o, o])
+        assert abs(e + fc.e_core - water_scf.energy) < 1e-8
+
+    def test_invalid_counts_rejected(self, water_mo):
+        with pytest.raises(ValueError):
+            freeze_core(water_mo, -1)
+        with pytest.raises(ValueError):
+            freeze_core(water_mo, 7)
+        with pytest.raises(ValueError):
+            freeze_core(water_mo, 1, n_active=7)
+
+    def test_active_window(self, water_mo):
+        fc = freeze_core(water_mo, 1, n_active=4)
+        assert fc.n_orbitals == 4

@@ -1,0 +1,117 @@
+"""End-to-end tests of the FCISolver driver."""
+
+import numpy as np
+import pytest
+
+from repro import FCISolver, Molecule, fci
+from repro.core import build_dense_hamiltonian
+
+
+class TestH2:
+    @pytest.fixture(scope="class")
+    def result(self, h2):
+        return FCISolver(h2, "sto-3g", model_space_size=2).run()
+
+    def test_energy_vs_dense(self, result):
+        H = build_dense_hamiltonian(result.mo, result.problem.space_a, result.problem.space_b)
+        e0 = np.linalg.eigvalsh(H)[0] + result.mo.e_core
+        assert abs(result.energy - e0) < 1e-9
+
+    def test_known_fci_energy(self, result):
+        # H2/STO-3G at R = 1.4: FCI about -1.13727 Eh
+        assert abs(result.energy - (-1.137276)) < 1e-4
+
+    def test_below_scf(self, result):
+        assert result.energy < result.scf_energy
+        assert result.correlation_energy < 0
+
+    def test_spin_pure_singlet(self, result):
+        assert abs(result.s_squared) < 1e-8
+
+    def test_all_methods_agree(self, h2):
+        energies = []
+        for method in ["davidson", "auto", "olsen", "olsen-damped"]:
+            r = FCISolver(h2, "sto-3g", method=method, model_space_size=2).run()
+            assert r.solve.converged, method
+            energies.append(r.energy)
+        assert np.ptp(energies) < 1e-8
+
+    def test_algorithms_agree(self, h2):
+        e1 = FCISolver(h2, "sto-3g", algorithm="dgemm").run().energy
+        e2 = FCISolver(h2, "sto-3g", algorithm="moc").run().energy
+        assert abs(e1 - e2) < 1e-9
+
+
+class TestValidation:
+    def test_bad_method(self, h2):
+        with pytest.raises(ValueError):
+            FCISolver(h2, method="power-iteration")
+
+    def test_bad_algorithm(self, h2):
+        with pytest.raises(ValueError):
+            FCISolver(h2, algorithm="spmv")
+
+    def test_cannot_freeze_too_much(self, h2):
+        with pytest.raises(ValueError):
+            FCISolver(h2, frozen_core=2).run()
+
+
+class TestOpenShellAndSymmetry:
+    def test_oxygen_triplet(self, oxygen_triplet):
+        r = FCISolver(
+            oxygen_triplet, "sto-3g", frozen_core=1, point_group="D2h"
+        ).run()
+        assert r.solve.converged
+        assert abs(r.s_squared - 2.0) < 1e-6  # triplet
+        assert r.energy < r.scf_energy
+
+    def test_symmetry_reduces_dimension(self, oxygen_triplet):
+        r = FCISolver(oxygen_triplet, "sto-3g", frozen_core=1, point_group="D2h").run()
+        assert r.problem.symmetry_dimension() < r.problem.dimension
+
+    def test_symmetry_does_not_change_energy(self, oxygen_triplet):
+        r_sym = FCISolver(oxygen_triplet, "sto-3g", frozen_core=1, point_group="D2h").run()
+        r_raw = FCISolver(oxygen_triplet, "sto-3g", frozen_core=1).run()
+        assert abs(r_sym.energy - r_raw.energy) < 1e-7
+
+    def test_frozen_core_sane(self, oxygen_triplet):
+        r_all = FCISolver(oxygen_triplet, "sto-3g").run()
+        r_fc = FCISolver(oxygen_triplet, "sto-3g", frozen_core="auto").run()
+        # frozen-core FCI is above all-electron FCI, but only slightly
+        assert r_fc.energy >= r_all.energy - 1e-9
+        assert r_fc.energy - r_all.energy < 0.05
+
+    def test_auto_frozen_core_counts(self, water):
+        solver = FCISolver(water, frozen_core="auto")
+        assert solver._n_frozen() == 1
+
+
+class TestOrbitalInvariance:
+    def test_fci_energy_invariant_to_orbitals(self, heh_plus):
+        # FCI in the full space is invariant to the orbital choice: compare
+        # canonical RHF orbitals vs symmetrically-orthogonalized AOs
+        from repro.scf import compute_ao_integrals, transform
+        from repro.core import CIProblem, davidson_solve, ModelSpacePreconditioner, sigma_dgemm
+
+        ao = compute_ao_integrals(heh_plus, "sto-3g")
+        r1 = FCISolver(heh_plus, "sto-3g").run()
+
+        evals, evecs = np.linalg.eigh(ao.S)
+        X = evecs @ np.diag(evals**-0.5) @ evecs.T  # Lowdin orbitals
+        mo = transform(ao, X)
+        prob = CIProblem(mo, 1, 1)
+        pre = ModelSpacePreconditioner(prob, 4)
+        res = davidson_solve(
+            lambda C: sigma_dgemm(prob, C), pre.ground_state_guess(), pre
+        )
+        assert abs((res.energy + mo.e_core) - r1.energy) < 1e-8
+
+
+class TestConvenience:
+    def test_fci_function(self, h2):
+        r = fci(h2, "sto-3g")
+        assert abs(r.energy - (-1.137276)) < 1e-4
+
+    def test_repr(self, h2):
+        r = fci(h2, "sto-3g")
+        assert "FCIResult" in repr(r)

@@ -1,0 +1,209 @@
+"""Tests for the diagonalization methods: Davidson, Olsen, auto-adjusted."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CIProblem,
+    DiagonalPreconditioner,
+    ModelSpacePreconditioner,
+    auto_adjusted_solve,
+    build_dense_hamiltonian,
+    davidson_solve,
+    olsen_correction,
+    olsen_solve,
+    sigma_dgemm,
+)
+from tests.conftest import make_random_mo
+
+
+@pytest.fixture(scope="module")
+def setup():
+    mo = make_random_mo(6, seed=42)
+    # make it diagonally dominant enough to behave like a CI Hamiltonian
+    mo.h += np.diag(np.linspace(-4.0, 3.0, 6)) * 3
+    prob = CIProblem(mo, 3, 3)
+    H = build_dense_hamiltonian(mo, prob.space_a, prob.space_b)
+    e0 = np.linalg.eigvalsh(H)[0]
+
+    def sigma_fn(C):
+        return sigma_dgemm(prob, C)
+
+    return prob, H, e0, sigma_fn
+
+
+class TestPreconditioners:
+    def test_diagonal_solve(self, setup):
+        prob, H, e0, _ = setup
+        pre = DiagonalPreconditioner(prob)
+        R = np.ones(prob.shape)
+        X = pre.solve(R, -100.0)
+        assert np.allclose(X * (prob.diagonal + 100.0), R, atol=1e-12)
+
+    def test_diagonal_floor_protects(self, setup):
+        prob, *_ = setup
+        pre = DiagonalPreconditioner(prob)
+        shift = float(prob.diagonal.ravel()[0])  # exact diagonal hit
+        X = pre.solve(np.ones(prob.shape), shift)
+        assert np.all(np.isfinite(X))
+
+    def test_model_space_selection_size(self, setup):
+        prob, *_ = setup
+        pre = ModelSpacePreconditioner(prob, 10)
+        assert pre.size == 10
+        assert pre.h_model.shape == (10, 10)
+
+    def test_model_space_block_is_exact_h(self, setup):
+        prob, H, *_ = setup
+        pre = ModelSpacePreconditioner(prob, 8)
+        sel = pre.selection
+        assert np.allclose(pre.h_model, H[np.ix_(sel, sel)], atol=1e-10)
+
+    def test_model_space_solve_inverts_h0(self, setup):
+        prob, *_ = setup
+        pre = ModelSpacePreconditioner(prob, 12)
+        R = np.random.default_rng(0).standard_normal(prob.shape)
+        shift = -50.0
+        X = pre.solve(R, shift)
+        # applying H0 - shift must recover R
+        back = pre.apply_h0(X) - shift * X
+        assert np.allclose(back, R, atol=1e-8)
+
+    def test_guess_is_normalized_and_supported(self, setup):
+        prob, *_ = setup
+        pre = ModelSpacePreconditioner(prob, 6)
+        g = pre.ground_state_guess()
+        assert abs(np.linalg.norm(g) - 1.0) < 1e-12
+        flat = g.ravel()
+        outside = np.delete(flat, pre.selection)
+        assert np.allclose(outside, 0.0)
+
+    def test_apply_h0_consistent_with_solve(self, setup):
+        prob, *_ = setup
+        pre = ModelSpacePreconditioner(prob, 5)
+        X = np.random.default_rng(1).standard_normal(prob.shape)
+        Y = pre.apply_h0(X)
+        # solve is the inverse map at shift 0 (if H0 nonsingular)
+        X2 = pre.solve(Y, 0.0)
+        assert np.allclose(X2, X, atol=1e-6)
+
+
+class TestOlsenCorrection:
+    def test_orthogonal_to_c(self, setup):
+        prob, H, e0, sigma_fn = setup
+        pre = ModelSpacePreconditioner(prob, 10)
+        C = prob.random_vector(5)
+        sigma = sigma_fn(C)
+        e = float(np.vdot(C, sigma))
+        t = olsen_correction(C, sigma, e, pre)
+        assert abs(np.vdot(C, t)) < 1e-8 * np.linalg.norm(t)
+
+    def test_zero_residual_gives_zero_correction(self, setup):
+        prob, H, e0, sigma_fn = setup
+        evals, evecs = np.linalg.eigh(H)
+        C = evecs[:, 0].reshape(prob.shape)
+        pre = DiagonalPreconditioner(prob)
+        t = olsen_correction(C, sigma_fn(C), evals[0], pre)
+        assert np.linalg.norm(t) < 1e-8
+
+
+class TestDavidson:
+    def test_finds_ground_state(self, setup):
+        prob, H, e0, sigma_fn = setup
+        pre = ModelSpacePreconditioner(prob, 20)
+        res = davidson_solve(sigma_fn, pre.ground_state_guess(), pre)
+        assert res.converged
+        assert abs(res.energy - e0) < 1e-8
+
+    def test_eigenvector_quality(self, setup):
+        prob, H, e0, sigma_fn = setup
+        pre = ModelSpacePreconditioner(prob, 20)
+        res = davidson_solve(sigma_fn, pre.ground_state_guess(), pre)
+        r = sigma_fn(res.vector) - res.energy * res.vector
+        assert np.linalg.norm(r) < 1e-4
+
+    def test_restart_path(self, setup):
+        prob, H, e0, sigma_fn = setup
+        pre = ModelSpacePreconditioner(prob, 10)
+        res = davidson_solve(
+            sigma_fn, pre.ground_state_guess(), pre, max_subspace=3, max_iterations=80
+        )
+        assert res.converged
+        assert abs(res.energy - e0) < 1e-8
+
+    def test_energies_monotone_nonincreasing(self, setup):
+        prob, H, e0, sigma_fn = setup
+        pre = ModelSpacePreconditioner(prob, 20)
+        res = davidson_solve(sigma_fn, pre.ground_state_guess(), pre)
+        diffs = np.diff(res.energies)
+        assert np.all(diffs < 1e-8)  # variational subspace growth
+
+    def test_iteration_counting(self, setup):
+        prob, H, e0, sigma_fn = setup
+        pre = ModelSpacePreconditioner(prob, 20)
+        res = davidson_solve(sigma_fn, pre.ground_state_guess(), pre)
+        assert res.n_iterations == res.n_sigma == len(res.energies)
+
+
+class TestOlsenIteration:
+    def test_olsen_converges_on_easy_problem(self, setup):
+        prob, H, e0, sigma_fn = setup
+        pre = ModelSpacePreconditioner(prob, 20)
+        res = olsen_solve(sigma_fn, pre.ground_state_guess(), pre, step=1.0, max_iterations=100)
+        # the random test Hamiltonian is diagonally dominant: Olsen should work
+        assert res.converged
+        assert abs(res.energy - e0) < 1e-7
+
+    def test_damped_step_used(self, setup):
+        prob, H, e0, sigma_fn = setup
+        pre = ModelSpacePreconditioner(prob, 20)
+        res = olsen_solve(sigma_fn, pre.ground_state_guess(), pre, step=0.7, max_iterations=100)
+        assert res.method == "olsen(step=0.7)"
+
+    def test_history_recorded(self, setup):
+        prob, H, e0, sigma_fn = setup
+        pre = ModelSpacePreconditioner(prob, 20)
+        res = olsen_solve(sigma_fn, pre.ground_state_guess(), pre, max_iterations=20)
+        assert len(res.energies) == len(res.residual_norms) == res.n_iterations
+
+
+class TestAutoAdjusted:
+    def test_converges_to_ground_state(self, setup):
+        prob, H, e0, sigma_fn = setup
+        pre = ModelSpacePreconditioner(prob, 20)
+        res = auto_adjusted_solve(sigma_fn, pre.ground_state_guess(), pre)
+        assert res.converged
+        assert abs(res.energy - e0) < 1e-8
+
+    def test_single_vector_storage_semantics(self, setup):
+        # the method never stores subspaces: its result vector is normalized
+        prob, H, e0, sigma_fn = setup
+        pre = ModelSpacePreconditioner(prob, 20)
+        res = auto_adjusted_solve(sigma_fn, pre.ground_state_guess(), pre)
+        assert abs(np.linalg.norm(res.vector) - 1.0) < 1e-10
+
+    def test_competitive_with_davidson(self, setup):
+        prob, H, e0, sigma_fn = setup
+        pre = ModelSpacePreconditioner(prob, 20)
+        res_auto = auto_adjusted_solve(sigma_fn, pre.ground_state_guess(), pre)
+        res_dav = davidson_solve(sigma_fn, pre.ground_state_guess(), pre)
+        # paper: auto requires no more than ~2x the subspace method, usually less
+        assert res_auto.n_iterations <= 2 * res_dav.n_iterations + 5
+
+    def test_eq14_recovers_tht(self, setup):
+        # the retroactive <t|H|t> identity must match the direct value
+        prob, H, e0, sigma_fn = setup
+        pre = ModelSpacePreconditioner(prob, 15)
+        C = pre.ground_state_guess()
+        sigma = sigma_fn(C)
+        e = float(np.vdot(C, sigma))
+        t = olsen_correction(C, sigma, e, pre)
+        lam = 0.6
+        tn2 = float(np.vdot(t, t))
+        e_ct = float(np.vdot(sigma, t))
+        s2 = 1.0 / (1.0 + lam * lam * tn2)
+        Cn = (C + lam * t) * np.sqrt(s2)
+        e_next = float(np.vdot(Cn, sigma_fn(Cn)))
+        e_tt_rec = (e_next / s2 - e - 2 * lam * e_ct) / lam**2
+        e_tt_direct = float(np.vdot(t, sigma_fn(t)))
+        assert abs(e_tt_rec - e_tt_direct) < 1e-6 * max(1.0, abs(e_tt_direct))

@@ -1,0 +1,154 @@
+"""Tests for string spaces, addressing, and irrep counting."""
+
+from math import comb
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import StringSpace, ci_dimension, count_strings_by_irrep, fci_space_size
+from repro.molecule import PointGroup
+
+
+class TestStringSpace:
+    def test_size(self):
+        assert StringSpace(6, 3).size == 20
+
+    def test_empty(self):
+        s = StringSpace(4, 0)
+        assert s.size == 1
+        assert s.masks[0] == 0
+
+    def test_full(self):
+        s = StringSpace(4, 4)
+        assert s.size == 1
+        assert s.masks[0] == 0b1111
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            StringSpace(3, 4)
+        with pytest.raises(ValueError):
+            StringSpace(3, -1)
+
+    def test_large_n_rejected(self):
+        with pytest.raises(ValueError):
+            StringSpace(66, 4)
+
+    def test_masks_unique_and_sorted(self):
+        s = StringSpace(7, 3)
+        masks = np.asarray(s.masks)
+        assert len(set(masks.tolist())) == s.size
+        assert np.all(np.diff(masks) > 0)  # colex order = ascending masks
+
+    def test_index_roundtrip(self):
+        s = StringSpace(6, 2)
+        for i in range(s.size):
+            assert s.index(int(s.masks[i])) == i
+
+    def test_rank_matches_index(self):
+        s = StringSpace(7, 3)
+        for i in range(s.size):
+            occ = tuple(int(o) for o in s.occ(i))
+            assert s.rank(occ) == i
+
+    def test_occupations_match_masks(self):
+        s = StringSpace(8, 4)
+        for i in range(0, s.size, 7):
+            mask = int(s.masks[i])
+            occ = [int(o) for o in s.occ(i)]
+            assert sum(1 << o for o in occ) == mask
+
+    def test_occupancy_matrix(self):
+        s = StringSpace(5, 2)
+        O = s.occupancy_matrix()
+        assert O.shape == (10, 5)
+        assert np.all(O.sum(axis=1) == 2)
+        # reconstruct masks
+        for i in range(s.size):
+            mask = sum(1 << p for p in range(5) if O[i, p])
+            assert mask == int(s.masks[i])
+
+    @given(st.integers(1, 10), st.integers(0, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_size_binomial(self, n, k):
+        if k > n:
+            return
+        assert StringSpace(n, k).size == comb(n, k)
+
+
+class TestIrreps:
+    def test_trivial_group(self):
+        s = StringSpace(5, 2)
+        pt = PointGroup.get("C1").product_table()
+        irr = s.irreps(np.zeros(5, dtype=int), pt)
+        assert np.all(irr == 0)
+
+    def test_xor_property(self):
+        g = PointGroup.get("D2h")
+        pt = g.product_table()
+        rng = np.random.default_rng(5)
+        orb = rng.integers(0, 8, size=7)
+        s = StringSpace(7, 3)
+        irr = s.irreps(orb, pt)
+        # recompute by hand
+        for i in range(0, s.size, 5):
+            acc = 0
+            for o in s.occ(i):
+                acc = pt[acc, orb[int(o)]]
+            assert irr[i] == acc
+
+    def test_count_matches_enumeration(self):
+        g = PointGroup.get("D2h")
+        pt = g.product_table()
+        rng = np.random.default_rng(9)
+        for n, k in [(6, 3), (8, 4), (10, 2)]:
+            orb = rng.integers(0, 8, size=n)
+            s = StringSpace(n, k)
+            irr = s.irreps(orb, pt)
+            counted = count_strings_by_irrep(n, k, orb, pt, 8)
+            for r in range(8):
+                assert int(counted[r]) == int(np.sum(irr == r))
+
+    def test_count_totals(self):
+        g = PointGroup.get("C2v")
+        pt = g.product_table()
+        orb = np.array([0, 1, 2, 3, 0, 1])
+        counts = count_strings_by_irrep(6, 3, orb, pt, 4)
+        assert sum(int(c) for c in counts) == comb(6, 3)
+
+    def test_count_works_beyond_62_orbitals(self):
+        # the paper's C2 space: FCI(8,66)
+        pt = PointGroup.get("C1").product_table()
+        counts = count_strings_by_irrep(66, 4, np.zeros(66, dtype=int), pt, 1)
+        assert int(counts[0]) == comb(66, 4)
+
+
+class TestCIDimension:
+    def test_unblocked(self):
+        assert ci_dimension(6, 3, 2) == comb(6, 3) * comb(6, 2)
+        assert fci_space_size(6, 3, 2) == comb(6, 3) * comb(6, 2)
+
+    def test_blocked_sums_to_total(self):
+        g = PointGroup.get("D2h")
+        pt = g.product_table()
+        rng = np.random.default_rng(3)
+        orb = rng.integers(0, 8, size=8)
+        total = 0
+        for target in range(8):
+            total += ci_dimension(8, 3, 3, orb, pt, 8, target)
+        assert total == comb(8, 3) ** 2
+
+    def test_requires_product_table(self):
+        with pytest.raises(ValueError):
+            ci_dimension(6, 3, 3, np.zeros(6, dtype=int))
+
+    def test_paper_c2_dimension_magnitude(self):
+        # FCI(8,66) in D2h should land within a percent of 64.93e9
+        from repro.parallel import homonuclear_diatomic_irreps
+
+        g = PointGroup.get("D2h")
+        pt = g.product_table()
+        orb = homonuclear_diatomic_irreps(66)
+        dim = ci_dimension(66, 4, 4, orb, pt, 8, 0)
+        assert abs(dim - 64_931_348_928) / 64_931_348_928 < 0.01

@@ -1,0 +1,145 @@
+"""Tests for abelian point groups and orbital irrep assignment."""
+
+import numpy as np
+import pytest
+
+from repro.molecule import Molecule, PointGroup, ao_representation, assign_orbital_irreps
+from repro.molecule.symmetry import POINT_GROUPS
+from repro.scf import compute_ao_integrals, rhf
+
+
+class TestPointGroup:
+    @pytest.mark.parametrize("name", POINT_GROUPS)
+    def test_all_groups_constructible(self, name):
+        g = PointGroup.get(name)
+        assert g.n_irreps == len(g.ops)
+        assert len(g.irrep_names) == g.n_irreps
+
+    def test_case_insensitive(self):
+        assert PointGroup.get("d2h").name == "D2h"
+
+    def test_unknown_group(self):
+        with pytest.raises(KeyError):
+            PointGroup.get("C3v")  # non-abelian, unsupported
+
+    def test_identity_first(self):
+        for name in POINT_GROUPS:
+            assert PointGroup.get(name).ops[0] == 0
+
+    def test_d2h_has_8_irreps(self):
+        assert PointGroup.get("D2h").n_irreps == 8
+
+    def test_totally_symmetric_is_zero(self):
+        g = PointGroup.get("D2h")
+        assert all(g.character(0, i) == 1 for i in range(len(g.ops)))
+
+    def test_characters_are_signs(self):
+        g = PointGroup.get("C2v")
+        for r in range(g.n_irreps):
+            for i in range(len(g.ops)):
+                assert g.character(r, i) in (-1, 1)
+
+    @pytest.mark.parametrize("name", POINT_GROUPS)
+    def test_product_table_is_group(self, name):
+        g = PointGroup.get(name)
+        pt = g.product_table()
+        n = g.n_irreps
+        # identity element
+        assert np.array_equal(pt[0], np.arange(n))
+        # commutative
+        assert np.array_equal(pt, pt.T)
+        # each row is a permutation (latin square)
+        for r in range(n):
+            assert sorted(pt[r]) == list(range(n))
+        # self-product is identity (all irreps are real, order-2 group)
+        for r in range(n):
+            assert pt[r, r] == 0
+
+    def test_product_matches_characters(self):
+        g = PointGroup.get("D2h")
+        for a in range(8):
+            for b in range(8):
+                c = g.product(a, b)
+                for i in range(8):
+                    assert g.character(c, i) == g.character(a, i) * g.character(b, i)
+
+    def test_irrep_id_lookup(self):
+        g = PointGroup.get("D2h")
+        assert g.irrep_id("Ag") == 0
+        assert g.irrep_names[g.irrep_id("B1u")] == "B1u"
+        with pytest.raises(KeyError):
+            g.irrep_id("E1g")
+
+    def test_op_names(self):
+        g = PointGroup.get("Ci")
+        assert g.op_names() == ["E", "i"]
+
+
+class TestAORepresentation:
+    def test_identity_op(self, water):
+        basis = water.basis("sto-3g")
+        T = ao_representation(basis, water.coordinates(), 0)
+        assert np.allclose(T, np.eye(basis.nbf))
+
+    def test_orthogonal(self, water):
+        basis = water.basis("sto-3g")
+        # water in the conftest geometry lies in the yz plane: sigma_yz (flip x)
+        T = ao_representation(basis, water.coordinates(), 0b001)
+        assert np.allclose(T @ T.T, np.eye(basis.nbf), atol=1e-12)
+
+    def test_involution(self, water):
+        basis = water.basis("sto-3g")
+        T = ao_representation(basis, water.coordinates(), 0b010)  # flip y, swaps H
+        assert np.allclose(T @ T, np.eye(basis.nbf), atol=1e-12)
+
+    def test_geometry_violation_raises(self):
+        mol = Molecule.from_atoms([("H", (0, 0, 0)), ("He", (0, 0, 1.0))], charge=1)
+        basis = mol.basis("sto-3g")
+        with pytest.raises(ValueError):
+            ao_representation(basis, mol.coordinates(), 0b100)  # flip z
+
+    def test_p_function_sign_flip(self):
+        mol = Molecule.from_atoms([("O", (0, 0, 0))], multiplicity=3)
+        basis = mol.basis("sto-3g")
+        T = ao_representation(basis, mol.coordinates(), 0b001)  # flip x
+        # px (function index 2) flips sign; py/pz (3, 4) do not
+        assert T[2, 2] == -1.0
+        assert T[3, 3] == 1.0 and T[4, 4] == 1.0
+
+    def test_commutes_with_overlap(self, water, water_ao):
+        basis = water.basis("sto-3g")
+        T = ao_representation(basis, water.coordinates(), 0b001)
+        S = water_ao.S
+        assert np.allclose(T.T @ S @ T, S, atol=1e-10)
+
+
+class TestOrbitalIrreps:
+    def test_water_c2v_assignment(self, water, water_ao):
+        group = PointGroup.get("C2v")
+        # C2 axis must be z: conftest water has C2 along z? It lies in yz
+        # plane with H mirrored in y: C2z maps H1<->H2? C2z flips x and y.
+        scf = rhf(water, water_ao)
+        basis = water.basis("sto-3g")
+        C, irreps = assign_orbital_irreps(
+            group, basis, water.coordinates(), scf.mo_coeff, water_ao.S, scf.mo_energy
+        )
+        assert irreps.shape == (7,)
+        assert np.all(irreps >= 0)
+        # water (1a1 2a1 1b2 3a1 1b1) occupied pattern: count of A1 among
+        # first five orbitals should be 3
+        names = [group.irrep_names[i] for i in irreps[:5]]
+        assert names.count("A1") == 3
+
+    def test_symmetrized_orbitals_transform_diagonally(self, water, water_ao):
+        group = PointGroup.get("C2v")
+        scf = rhf(water, water_ao)
+        basis = water.basis("sto-3g")
+        C, irreps = assign_orbital_irreps(
+            group, basis, water.coordinates(), scf.mo_coeff, water_ao.S, scf.mo_energy
+        )
+        S = water_ao.S
+        for gi, op in enumerate(group.ops):
+            T = ao_representation(basis, water.coordinates(), op)
+            diag = np.einsum("mi,mn,ni->i", C, S @ T, C)
+            expected = [group.character(r, gi) for r in irreps]
+            assert np.allclose(diag, expected, atol=1e-8)

@@ -1,0 +1,99 @@
+"""Tests for the size-ordered aggregated task pool (paper Fig. 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import build_task_pool, pool_statistics
+
+
+class TestConstruction:
+    def test_covers_all_units_exactly_once(self):
+        costs = np.random.default_rng(0).uniform(1, 10, size=500)
+        tasks = build_task_pool(costs, 8)
+        covered = np.zeros(500, dtype=int)
+        for t in tasks:
+            covered[t.start : t.stop] += 1
+        assert np.all(covered == 1)
+
+    def test_total_cost_preserved(self):
+        costs = np.random.default_rng(1).uniform(0.5, 3.0, size=300)
+        tasks = build_task_pool(costs, 4)
+        assert abs(sum(t.cost for t in tasks) - costs.sum()) < 1e-9
+
+    def test_large_tasks_decreasing(self):
+        costs = np.random.default_rng(2).uniform(1, 2, size=1000)
+        tasks = build_task_pool(
+            costs, 4, n_fine_per_proc=16, n_large_per_proc=3, n_small_per_proc=4
+        )
+        n_small = 4 * 4
+        large = tasks[: len(tasks) - n_small]
+        large_costs = [t.cost for t in large]
+        assert large_costs == sorted(large_costs, reverse=True)
+
+    def test_tail_is_fine_grained(self):
+        costs = np.ones(1000)
+        tasks = build_task_pool(
+            costs, 4, n_fine_per_proc=16, n_large_per_proc=3, n_small_per_proc=4
+        )
+        n_small = 16
+        tail = tasks[-n_small:]
+        head = tasks[: len(tasks) - n_small]
+        # tail tasks stay fine-grained: far below the aggregated task mean
+        head_mean = np.mean([t.cost for t in head])
+        assert max(t.cost for t in tail) < 0.5 * head_mean
+
+    def test_fewer_units_than_fine_tasks(self):
+        tasks = build_task_pool(np.ones(5), 8, n_fine_per_proc=16)
+        covered = sorted((t.start, t.stop) for t in tasks)
+        assert covered[0][0] == 0 and covered[-1][1] == 5
+
+    def test_single_unit(self):
+        tasks = build_task_pool([3.0], 4)
+        assert len(tasks) == 1
+        assert tasks[0].n_units == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_task_pool([], 4)
+        with pytest.raises(ValueError):
+            build_task_pool([1.0], 0)
+
+    def test_zero_costs_handled(self):
+        tasks = build_task_pool(np.zeros(100), 4)
+        covered = np.zeros(100, dtype=int)
+        for t in tasks:
+            covered[t.start : t.stop] += 1
+        assert np.all(covered == 1)
+
+    @given(
+        st.integers(10, 400),
+        st.integers(1, 16),
+        st.integers(0, 60000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partition_property(self, n_units, n_procs, seed):
+        costs = np.random.default_rng(seed).uniform(0.1, 5.0, size=n_units)
+        tasks = build_task_pool(costs, n_procs)
+        covered = np.zeros(n_units, dtype=int)
+        for t in tasks:
+            assert t.stop > t.start
+            covered[t.start : t.stop] += 1
+        assert np.all(covered == 1)
+
+
+class TestStatistics:
+    def test_pool_statistics(self):
+        tasks = build_task_pool(np.ones(200), 4)
+        stats = pool_statistics(tasks)
+        assert stats["n_tasks"] == len(tasks)
+        assert abs(stats["total_cost"] - 200) < 1e-9
+        assert stats["max_cost"] >= stats["mean_cost"] >= stats["min_cost"]
+
+    def test_imbalance_bound_by_tail(self):
+        # with a fine tail, the worst-case imbalance is one tail-task cost
+        costs = np.random.default_rng(5).uniform(1, 4, size=2000)
+        tasks = build_task_pool(costs, 8, n_small_per_proc=6)
+        stats = pool_statistics(tasks)
+        assert stats["tail_cost"] <= stats["total_cost"] / 8

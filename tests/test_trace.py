@@ -1,0 +1,120 @@
+"""Tests for trace-mode paper-scale simulation."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    FCISpaceSpec,
+    TraceFCI,
+    atom_irreps,
+    homonuclear_diatomic_irreps,
+)
+from repro.x1 import X1Config
+
+
+@pytest.fixture(scope="module")
+def c2_spec():
+    return FCISpaceSpec(66, 4, 4, "D2h", homonuclear_diatomic_irreps(66), 0, name="C2")
+
+
+@pytest.fixture(scope="module")
+def o_spec():
+    return FCISpaceSpec(43, 3, 5, "D2h", atom_irreps(43), 0, name="O")
+
+
+class TestFCISpaceSpec:
+    def test_c2_dimension_close_to_paper(self, c2_spec):
+        dim = c2_spec.ci_dimension()
+        assert abs(dim - 64_931_348_928) / 64_931_348_928 < 0.01
+
+    def test_o_anion_dimension_close_to_paper(self):
+        spec = FCISpaceSpec(43, 4, 5, "D2h", atom_irreps(43), 0, name="O-")
+        assert abs(spec.ci_dimension() - 14_851_999_576) / 14_851_999_576 < 0.02
+
+    def test_irrep_counts_sum(self, c2_spec):
+        from math import comb
+
+        assert abs(c2_spec.na_by_irrep.sum() - comb(66, 4)) < 1
+        assert abs(c2_spec.nb_by_irrep.sum() - comb(66, 4)) < 1
+
+    def test_pair_counts_sum(self, c2_spec):
+        assert c2_spec.pair_by_irrep.sum() == 66 * 65 // 2
+        assert c2_spec.orbpair_by_irrep.sum() == 66 * 66
+
+    def test_trivial_group(self):
+        spec = FCISpaceSpec(10, 3, 3)
+        from math import comb
+
+        assert spec.ci_dimension() == comb(10, 3) ** 2
+
+    def test_irrep_length_validation(self):
+        with pytest.raises(ValueError):
+            FCISpaceSpec(10, 3, 3, "D2h", np.zeros(5, dtype=int))
+
+    def test_describe(self, c2_spec):
+        assert "C2" in c2_spec.describe()
+        assert "Ag" in c2_spec.describe()
+
+
+class TestTraceIteration:
+    def test_phases_present(self, o_spec):
+        res = TraceFCI(o_spec, X1Config(n_msps=16)).run_iteration()
+        for phase in ["beta-beta", "alpha-beta", "vector-symm", "vector-ops", "disk-io"]:
+            assert phase in res.phase_seconds, phase
+        assert res.elapsed > 0
+
+    def test_dgemm_scales_with_msps(self, o_spec):
+        t = {}
+        for P in [16, 64]:
+            t[P] = TraceFCI(o_spec, X1Config(n_msps=P)).run_iteration()
+        ratio = t[16].phase_seconds["alpha-beta"] / t[64].phase_seconds["alpha-beta"]
+        assert 3.0 < ratio < 4.5  # near-ideal 4x
+
+    def test_moc_same_spin_does_not_scale(self, o_spec):
+        # the paper's central negative result: replicated same-spin work
+        t16 = TraceFCI(o_spec, X1Config(n_msps=16), algorithm="moc").run_iteration()
+        t128 = TraceFCI(o_spec, X1Config(n_msps=128), algorithm="moc").run_iteration()
+        ratio = t16.phase_seconds["beta-beta"] / t128.phase_seconds["beta-beta"]
+        assert ratio < 2.0  # far from the ideal 8x
+
+    def test_dgemm_beats_moc(self, o_spec):
+        moc = TraceFCI(o_spec, X1Config(n_msps=64), algorithm="moc").run_iteration()
+        dg = TraceFCI(o_spec, X1Config(n_msps=64), algorithm="dgemm").run_iteration()
+        assert dg.elapsed < moc.elapsed
+        assert dg.phase_seconds["alpha-beta"] < moc.phase_seconds["alpha-beta"]
+
+    def test_moc_communicates_more(self, o_spec):
+        moc = TraceFCI(o_spec, X1Config(n_msps=32), algorithm="moc").run_iteration()
+        dg = TraceFCI(o_spec, X1Config(n_msps=32), algorithm="dgemm").run_iteration()
+        # paper: factor ~25 communication reduction for O
+        assert moc.comm_bytes / dg.comm_bytes > 5
+
+    def test_c2_headline_numbers(self, c2_spec):
+        res = TraceFCI(c2_spec, X1Config(n_msps=432)).run_iteration()
+        # shape targets from Table 3 (loose envelopes, not equalities)
+        assert 150 < res.elapsed < 400  # paper 249 s
+        assert 30 < res.phase_seconds["beta-beta"] < 120  # paper 62 s
+        assert 100 < res.phase_seconds["alpha-beta"] < 250  # paper 167 s
+        assert res.phase_seconds["alpha-beta"] > res.phase_seconds["beta-beta"]
+        assert 4e12 < res.comm_bytes < 9e12  # paper ~6.2 TB
+        assert 2.5 < res.aggregate_tflops < 5.5  # paper 3.4 TF/s
+        assert 6.0 < res.sustained_gflops_per_msp < 11.0  # paper ~8
+
+    def test_sustained_rate_below_peak(self, o_spec):
+        res = TraceFCI(o_spec, X1Config(n_msps=16)).run_iteration()
+        assert res.sustained_gflops_per_msp < 12.8
+
+    def test_load_imbalance_small_fraction(self, c2_spec):
+        res = TraceFCI(c2_spec, X1Config(n_msps=432)).run_iteration()
+        assert res.load_imbalance < 0.15 * res.elapsed
+
+    def test_fig5_near_perfect_speedup(self):
+        spec = FCISpaceSpec(43, 4, 5, "D2h", atom_irreps(43), 0, name="O-")
+        t128 = TraceFCI(spec, X1Config(n_msps=128)).run_iteration()
+        t256 = TraceFCI(spec, X1Config(n_msps=256)).run_iteration()
+        speedup = t128.elapsed / t256.elapsed
+        assert speedup > 1.8  # paper: "almost perfect speedup"
+
+    def test_invalid_algorithm(self, o_spec):
+        with pytest.raises(ValueError):
+            TraceFCI(o_spec, X1Config(n_msps=4), algorithm="mystery")

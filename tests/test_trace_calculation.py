@@ -1,0 +1,107 @@
+"""Tests for full-calculation trace simulation and remaining edge paths."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import FCISpaceSpec, TraceFCI, atom_irreps, homonuclear_diatomic_irreps
+from repro.x1 import Engine, SymmetricHeap, X1Config
+
+
+class TestRunCalculation:
+    @pytest.fixture(scope="class")
+    def c2(self):
+        spec = FCISpaceSpec(66, 4, 4, "D2h", homonuclear_diatomic_irreps(66), 0)
+        return TraceFCI(spec, X1Config(n_msps=432))
+
+    def test_paper_total_time(self, c2):
+        # paper: 25 iterations at ~249 s/iteration => ~1.7 hours
+        out = c2.run_calculation(25)
+        assert out["iterations"] == 25
+        assert 1.0 < out["total_hours"] < 3.0
+        assert abs(out["total_seconds"] - 25 * out["seconds_per_iteration"]) < 1e-6
+
+    def test_comm_accumulates(self, c2):
+        out = c2.run_calculation(3)
+        assert abs(out["total_comm_bytes"] - 3 * out["iteration"].comm_bytes) < 1.0
+
+    def test_validation(self, c2):
+        with pytest.raises(ValueError):
+            c2.run_calculation(0)
+
+
+class TestTraceEdges:
+    def test_no_symmetry_spec(self):
+        spec = FCISpaceSpec(12, 3, 3, name="plain")
+        res = TraceFCI(spec, X1Config(n_msps=4)).run_iteration()
+        assert res.elapsed > 0
+        assert res.spec_name
+
+    def test_few_electron_space(self):
+        # nb = 1: no same-spin beta work at all
+        spec = FCISpaceSpec(10, 1, 1)
+        res = TraceFCI(spec, X1Config(n_msps=2)).run_iteration()
+        assert res.phase_seconds.get("beta-beta", 0.0) == 0.0
+
+    def test_custom_io_override(self):
+        spec = FCISpaceSpec(12, 3, 3)
+        res = TraceFCI(
+            spec, X1Config(n_msps=4), io_bytes_per_iteration=246e6
+        ).run_iteration()
+        assert abs(res.phase_seconds["disk-io"] - 1.0) < 0.2
+
+    def test_atom_and_diatomic_irreps_cover_all(self):
+        for gen in (atom_irreps, homonuclear_diatomic_irreps):
+            irr = gen(50)
+            assert irr.shape == (50,)
+            assert set(np.unique(irr)) <= set(range(8))
+            assert len(np.unique(irr)) == 8  # every irrep populated
+
+    def test_trace_result_repr_fields(self):
+        spec = FCISpaceSpec(12, 3, 3)
+        res = TraceFCI(spec, X1Config(n_msps=4)).run_iteration()
+        assert res.n_msps == 4
+        assert res.algorithm == "dgemm"
+        assert res.total_flops > 0
+
+
+class TestEngineEdges:
+    def test_unknown_op_rejected(self):
+        from repro.x1.engine import Op
+
+        cfg = X1Config(n_msps=1)
+        heap = SymmetricHeap(1)
+
+        def prog(proc, h):
+            yield Op(kind="teleport")
+
+        with pytest.raises(ValueError):
+            Engine(cfg, heap).run([prog])
+
+    def test_program_count_mismatch(self):
+        cfg = X1Config(n_msps=2)
+        heap = SymmetricHeap(2)
+        with pytest.raises(ValueError):
+            Engine(cfg, heap).run([])
+
+    def test_heap_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            Engine(X1Config(n_msps=2), SymmetricHeap(3))
+
+    def test_event_counter(self):
+        cfg = X1Config(n_msps=2)
+        heap = SymmetricHeap(2)
+
+        def prog(proc, h):
+            yield proc.compute(0.1)
+            yield proc.barrier()
+
+        eng = Engine(cfg, heap)
+        eng.run([prog] * 2)
+        assert eng.n_events >= 4
+
+    def test_per_rank_shapes(self):
+        heap = SymmetricHeap(3)
+        heap.alloc_per_rank("v", [(1,), (2,), (3,)])
+        assert heap.segment("v", 2).shape == (3,)
+        with pytest.raises(ValueError):
+            heap.alloc_per_rank("w", [(1,)])

@@ -1,0 +1,89 @@
+"""Tests for the Cray-X1 machine model."""
+
+import pytest
+
+from repro.x1 import X1Config
+
+
+class TestTopology:
+    def test_peak_flops(self):
+        cfg = X1Config()
+        assert abs(cfg.peak_flops - 12.8e9) < 1e6  # the X1 MSP peak
+
+    def test_aggregate_peak(self):
+        cfg = X1Config(n_msps=432)
+        assert abs(cfg.aggregate_peak_flops - 432 * 12.8e9) < 1e9
+
+    def test_node_mapping(self):
+        cfg = X1Config(n_msps=8, msps_per_node=4)
+        assert cfg.n_nodes == 2
+        assert cfg.node_of(0) == 0 and cfg.node_of(3) == 0
+        assert cfg.node_of(4) == 1
+        assert cfg.same_node(1, 2)
+        assert not cfg.same_node(3, 4)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            X1Config(n_msps=0)
+        with pytest.raises(ValueError):
+            X1Config(msps_per_node=0)
+
+    def test_describe(self):
+        assert "432 MSPs" in X1Config(n_msps=432).describe()
+
+
+class TestKernelModels:
+    def test_dgemm_rate_saturates_below_peak(self):
+        cfg = X1Config()
+        big = cfg.dgemm_rate(2000, 2000, 2000)
+        assert 9e9 < big < cfg.peak_flops
+
+    def test_dgemm_rate_paper_calibration(self):
+        # paper ref [20]: 10-11 GF/MSP for matrices beyond 300x300
+        cfg = X1Config()
+        r = cfg.dgemm_rate(300, 300, 300)
+        assert 8.5e9 < r < 11.5e9
+
+    def test_dgemm_small_matrices_slow(self):
+        cfg = X1Config()
+        assert cfg.dgemm_rate(8, 8, 8) < 0.3 * cfg.peak_flops
+
+    def test_dgemm_time_scales_with_flops(self):
+        cfg = X1Config()
+        t1 = cfg.dgemm_time(500, 500, 500)
+        t2 = cfg.dgemm_time(500, 1000, 500)
+        assert 1.5 < t2 / t1 < 2.5
+
+    def test_daxpy_out_of_cache_2gf(self):
+        # paper: out-of-cache DAXPY realizes ~2 GF/s per MSP
+        cfg = X1Config()
+        n = 10_000_000
+        assert abs(cfg.daxpy_time(n) - 2.0 * n / 2.0e9) < 1e-9
+
+    def test_daxpy_in_cache_faster(self):
+        cfg = X1Config()
+        assert cfg.daxpy_time(1000, in_cache=True) < cfg.daxpy_time(1000)
+
+    def test_transfer_local_vs_remote(self):
+        cfg = X1Config(n_msps=8, msps_per_node=4)
+        nb = 1e6
+        t_self = cfg.transfer_time(0, 0, nb)
+        t_node = cfg.transfer_time(0, 1, nb)
+        t_net = cfg.transfer_time(0, 5, nb)
+        assert t_self < t_node < t_net
+
+    def test_latency_structure(self):
+        cfg = X1Config(n_msps=8, msps_per_node=4)
+        assert cfg.transfer_latency(0, 0) == 0.0
+        assert cfg.transfer_latency(0, 1) < cfg.transfer_latency(0, 7)
+
+    def test_io_rates(self):
+        cfg = X1Config()
+        # paper Table 3: 293 MB/s read, 246 MB/s write
+        assert abs(cfg.io_time(293e6, write=False) - 1.0) < 1e-9
+        assert abs(cfg.io_time(246e6, write=True) - 1.0) < 1e-9
+
+    def test_indexed_update_slower_than_dgemm(self):
+        cfg = X1Config()
+        flops = 2e9
+        assert cfg.indexed_update_time(flops / 2) > cfg.dgemm_time(1000, 1000, flops / (2 * 1000 * 1000))

@@ -13,7 +13,7 @@ paper needed 25 iterations to a 1e-5 residual at full scale).
 
 import pytest
 
-from repro import FCISolver
+from repro import FCISolver, Telemetry
 from repro.analysis import paper_comparison
 from repro.parallel import FCISpaceSpec, TraceFCI, homonuclear_diatomic_irreps
 from repro.x1 import X1Config
@@ -31,11 +31,18 @@ def c2_spec():
 
 
 @pytest.fixture(scope="module")
-def c2_result(c2_spec):
-    return TraceFCI(c2_spec, X1Config(n_msps=432)).run_iteration()
+def c2_telemetry():
+    return Telemetry()
 
 
-def test_table3_rows(c2_spec, c2_result):
+@pytest.fixture(scope="module")
+def c2_result(c2_spec, c2_telemetry):
+    return TraceFCI(
+        c2_spec, X1Config(n_msps=432), telemetry=c2_telemetry
+    ).run_iteration()
+
+
+def test_table3_rows(c2_spec, c2_result, c2_telemetry):
     r = c2_result
     rows = [
         ("CI dimension", "64,931,348,928", f"{c2_spec.ci_dimension():,.0f}"),
@@ -52,7 +59,12 @@ def test_table3_rows(c2_spec, c2_result):
         ("% of peak", "62%", f"{100 * r.sustained_gflops_per_msp / 12.8:.0f}%"),
     ]
     text = paper_comparison(rows, title="Table 3: C2 FCI(8,66) benchmark, 432 MSPs")
-    write_result("table3_c2", text)
+    write_result(
+        "table3_c2",
+        text,
+        rows=[list(row) for row in rows],
+        metrics=c2_telemetry.snapshot(),
+    )
 
     # shape assertions
     assert r.phase_seconds["alpha-beta"] > r.phase_seconds["beta-beta"]

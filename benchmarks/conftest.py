@@ -1,12 +1,17 @@
 """Shared benchmark fixtures: molecules and a results writer.
 
 Every benchmark prints the rows/series of the paper table or figure it
-regenerates and also writes them under ``benchmarks/results/`` so the output
-survives pytest's capture.
+regenerates and writes them under ``benchmarks/results/`` twice: the
+human-readable text as ``<name>.txt`` and a structured ``<name>.json``
+(schema: name, timestamp, text, rows, metrics) so downstream tooling can
+diff GF-rates and communication volumes across runs without re-parsing
+tables.
 """
 
 from __future__ import annotations
 
+import datetime
+import json
 import pathlib
 
 import pytest
@@ -16,10 +21,33 @@ from repro.molecule import Molecule
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def write_result(name: str, text: str) -> None:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+def write_result(
+    name: str,
+    text: str,
+    *,
+    rows: list | None = None,
+    metrics: dict | None = None,
+) -> list[pathlib.Path]:
+    """Write a benchmark result as text and structured JSON.
+
+    ``rows`` is the (paper, measured) comparison table as plain data;
+    ``metrics`` is a metrics snapshot (e.g. ``Telemetry.snapshot()`` or any
+    JSON-serializable dict).  Returns the paths written.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    txt_path = RESULTS_DIR / f"{name}.txt"
+    txt_path.write_text(text + "\n")
+    payload = {
+        "name": name,
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "text": text,
+        "rows": rows,
+        "metrics": metrics,
+    }
+    json_path = RESULTS_DIR / f"{name}.json"
+    json_path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
     print("\n" + text)
+    return [txt_path, json_path]
 
 
 @pytest.fixture(scope="session")

@@ -14,9 +14,27 @@ Quick start::
     print(FCISolver(mol, basis="sto-3g").run().energy)
 """
 
+import logging
+
 from .molecule import Molecule, PointGroup
 from .core import FCIResult, FCISolver, fci
+from .obs import ChromeTracer, MetricsRegistry, Telemetry, get_registry
+
+# Library code reports through the "repro" logger hierarchy rather than
+# print(); applications opt in with logging.basicConfig() or a handler.
+logging.getLogger(__name__).addHandler(logging.NullHandler())
 
 __version__ = "1.0.0"
 
-__all__ = ["Molecule", "PointGroup", "FCIResult", "FCISolver", "fci", "__version__"]
+__all__ = [
+    "Molecule",
+    "PointGroup",
+    "FCIResult",
+    "FCISolver",
+    "fci",
+    "Telemetry",
+    "ChromeTracer",
+    "MetricsRegistry",
+    "get_registry",
+    "__version__",
+]

@@ -61,8 +61,15 @@ def auto_adjusted_solve(
     residual_tol: float = 1e-5,
     max_iterations: int = 60,
     max_step: float = 4.0,
+    telemetry=None,
 ) -> SolveResult:
-    """Automatically adjusted single-vector iteration (paper section 2.2)."""
+    """Automatically adjusted single-vector iteration (paper section 2.2).
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) records one
+    ``solver.iterations`` sample per iteration (energy, residual norm and
+    the step length lambda used to *reach* the current iterate); None
+    disables all instrumentation.
+    """
     C = guess / np.linalg.norm(guess)
     energies: list[float] = []
     rnorms: list[float] = []
@@ -78,6 +85,8 @@ def auto_adjusted_solve(
         rnorm = float(np.linalg.norm(sigma - e * C))
         energies.append(e)
         rnorms.append(rnorm)
+        if telemetry:
+            telemetry.solver_iteration("auto", it, e, rnorm, lam=lam)
         if (
             prev is not None
             and abs(e - prev["energy"]) < energy_tol

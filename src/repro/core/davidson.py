@@ -31,11 +31,16 @@ def davidson_solve(
     residual_tol: float = 1e-5,
     max_iterations: int = 60,
     max_subspace: int = 12,
+    telemetry=None,
 ) -> SolveResult:
     """Davidson iteration for the lowest eigenpair.
 
     Counts one "iteration" per sigma evaluation so iteration numbers are
     directly comparable with the single-vector methods (paper Table 2).
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) records one
+    ``solver.iterations`` sample per iteration (energy, residual norm,
+    subspace size); None disables all instrumentation.
     """
     shape = guess.shape
     v = (guess / np.linalg.norm(guess)).ravel()
@@ -66,6 +71,8 @@ def davidson_solve(
         rnorm = float(np.linalg.norm(residual))
         energies.append(e)
         rnorms.append(rnorm)
+        if telemetry:
+            telemetry.solver_iteration("davidson", it, e, rnorm, subspace=k)
         if abs(e - prev_e) < energy_tol and rnorm < residual_tol:
             return SolveResult(
                 energy=e,

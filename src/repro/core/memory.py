@@ -15,11 +15,14 @@ only for the single-vector scheme.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from ..x1.machine import X1Config
 
 __all__ = ["MethodFootprint", "method_footprints", "davidson_io_penalty"]
+
+logger = logging.getLogger(__name__)
 
 _BYTES = 8.0
 
@@ -68,6 +71,12 @@ def method_footprints(
                 bytes_per_msp=total / n_msps,
             )
         )
+    logger.debug(
+        "footprints for dim=%.3g on %d MSPs: %s",
+        ci_dimension,
+        n_msps,
+        [(r.method, r.bytes_per_msp) for r in rows],
+    )
     return rows
 
 

@@ -74,6 +74,7 @@ def olsen_solve(
     energy_tol: float = 1e-10,
     residual_tol: float = 1e-5,
     max_iterations: int = 60,
+    telemetry=None,
 ) -> SolveResult:
     """Single-vector Olsen iteration with fixed mixing step ``step``.
 
@@ -81,6 +82,10 @@ def olsen_solve(
     "modified" damped variant.  Convergence requires *both* the energy change
     below ``energy_tol`` and the residual norm below ``residual_tol``
     (matching the paper's tightly-converged criterion).
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) records one
+    ``solver.iterations`` sample per iteration; None disables all
+    instrumentation.
     """
     C = guess / np.linalg.norm(guess)
     energies: list[float] = []
@@ -94,6 +99,8 @@ def olsen_solve(
         rnorm = float(np.linalg.norm(sigma - e * C))
         energies.append(e)
         rnorms.append(rnorm)
+        if telemetry:
+            telemetry.solver_iteration("olsen", it, e, rnorm, lam=step)
         if abs(e - prev_e) < energy_tol and rnorm < residual_tol:
             return SolveResult(
                 energy=e,

@@ -31,9 +31,12 @@ cache-/memory-friendly; ``block_columns`` controls the block width.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import scipy.sparse as sp
 
+from ..obs.accounting import account_sigma_dgemm
 from .excitations import DoubleAnnihilationTable, SingleExcitationTable
 from .problem import CIProblem
 
@@ -165,8 +168,18 @@ def sigma_dgemm(
     *,
     block_columns: int = 64,
     counters: SigmaCounters | None = None,
+    telemetry=None,
 ) -> np.ndarray:
-    """Full sigma = H C with the DGEMM-based algorithm (no e_core shift)."""
+    """Full sigma = H C with the DGEMM-based algorithm (no e_core shift).
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) folds this evaluation's
+    FLOP/gather/scatter counts and wall time into its metrics registry
+    through the audited accounting path; None (the default) skips all
+    instrumentation.
+    """
+    if telemetry and counters is None:
+        counters = SigmaCounters()
+    t0 = time.perf_counter() if telemetry else 0.0
     na, nb = problem.shape
     if C.shape != (na, nb):
         raise ValueError(f"C must have shape {(na, nb)}, got {C.shape}")
@@ -190,4 +203,6 @@ def sigma_dgemm(
         ).T
 
     sigma += _mixed_spin(problem, C, block_columns, counters)
+    if telemetry:
+        account_sigma_dgemm(telemetry.registry, counters, time.perf_counter() - t0)
     return sigma

@@ -23,8 +23,11 @@ what the Cray-X1 cost model charges differently.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from ..obs.accounting import account_sigma_moc
 from .problem import CIProblem
 from .sigma_dgemm import one_electron_operators
 
@@ -153,8 +156,17 @@ def sigma_moc(
     C: np.ndarray,
     *,
     counters: MOCCounters | None = None,
+    telemetry=None,
 ) -> np.ndarray:
-    """Full sigma = H C with the minimum-operation-count algorithm."""
+    """Full sigma = H C with the minimum-operation-count algorithm.
+
+    ``telemetry`` routes indexed-op counts and wall time through the
+    audited accounting path (:mod:`repro.obs.accounting`); the default None
+    skips all instrumentation.
+    """
+    if telemetry and counters is None:
+        counters = MOCCounters()
+    t0 = time.perf_counter() if telemetry else 0.0
     na, nb = problem.shape
     if C.shape != (na, nb):
         raise ValueError(f"C must have shape {(na, nb)}, got {C.shape}")
@@ -168,4 +180,6 @@ def sigma_moc(
             problem, problem.space_b, np.ascontiguousarray(C.T), counters
         ).T
     sigma += _mixed_spin_moc(problem, C, counters)
+    if telemetry:
+        account_sigma_moc(telemetry.registry, counters, time.perf_counter() - t0)
     return sigma

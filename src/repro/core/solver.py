@@ -10,6 +10,7 @@ This is the main user-facing entry point of the library:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,6 +31,8 @@ from .spin import SpinOperator
 from .strings import string_irrep
 
 __all__ = ["FCISolver", "FCIResult", "MultiRootFCIResult", "fci"]
+
+logger = logging.getLogger(__name__)
 
 _METHODS = ("auto", "davidson", "olsen", "olsen-damped")
 _ALGORITHMS = ("dgemm", "moc")
@@ -79,6 +82,12 @@ class FCISolver:
     method:
         "auto" (paper's automatically adjusted single-vector method),
         "davidson", "olsen", or "olsen-damped".
+    telemetry:
+        Optional :class:`repro.obs.Telemetry`.  When given, per-iteration
+        solver telemetry (energy, residual norm, step length) and
+        per-sigma FLOP/byte accounting are recorded in its metrics
+        registry.  The default None is a strict no-op: results are
+        bitwise identical with and without telemetry.
     """
 
     def __init__(
@@ -100,6 +109,7 @@ class FCISolver:
         max_iterations: int = 60,
         ao_integrals: AOIntegrals | None = None,
         scf_result: SCFResult | None = None,
+        telemetry=None,
     ):
         if algorithm not in _ALGORITHMS:
             raise ValueError(f"algorithm must be one of {_ALGORITHMS}")
@@ -119,6 +129,7 @@ class FCISolver:
         self.energy_tol = energy_tol
         self.residual_tol = residual_tol
         self.max_iterations = max_iterations
+        self.telemetry = telemetry
         self._ao = ao_integrals
         self._scf = scf_result
 
@@ -203,7 +214,7 @@ class FCISolver:
 
         def sigma_fn(C: np.ndarray) -> np.ndarray:
             n_calls[0] += 1
-            out = sigma_raw(problem, C)
+            out = sigma_raw(problem, C, telemetry=self.telemetry)
             if self.spin_penalty:
                 out = out + self.spin_penalty * (
                     spin_op.apply_s2(C) - s2_target * C
@@ -231,6 +242,7 @@ class FCISolver:
             energy_tol=self.energy_tol,
             residual_tol=self.residual_tol,
             max_iterations=self.max_iterations,
+            telemetry=self.telemetry,
         )
         if self.method == "davidson":
             solve = davidson_solve(sigma_fn, guess, precond, **kwargs)
@@ -244,6 +256,30 @@ class FCISolver:
             )
 
         total = solve.energy + mo.e_core
+        if self.telemetry:
+            self.telemetry.solver_result(
+                solve.method,
+                total,
+                solve.converged,
+                solve.n_iterations,
+                n_calls[0],
+                dimension=problem.dimension,
+            )
+        if not solve.converged:
+            logger.warning(
+                "FCI %s did not converge in %d iterations (E=%.10f)",
+                solve.method,
+                solve.n_iterations,
+                total,
+            )
+        else:
+            logger.info(
+                "FCI %s converged: E=%.10f (%d iterations, dim %d)",
+                solve.method,
+                total,
+                solve.n_iterations,
+                problem.dimension,
+            )
         return FCIResult(
             energy=total,
             scf_energy=scf.energy,
@@ -267,7 +303,7 @@ class FCISolver:
         sigma_raw = sigma_dgemm if self.algorithm == "dgemm" else sigma_moc
 
         def sigma_fn(C: np.ndarray) -> np.ndarray:
-            out = sigma_raw(problem, C)
+            out = sigma_raw(problem, C, telemetry=self.telemetry)
             if problem.symmetry_mask is not None:
                 out = problem.project_symmetry(out)
             return out

@@ -1,0 +1,60 @@
+"""repro.obs: telemetry, tracing, and FLOP/byte accounting.
+
+The paper's headline results are *measurements* - GF/MSP per routine,
+communication volume per iteration, load imbalance, iteration counts - so
+the reproduction carries a first-class observability layer:
+
+* :mod:`repro.obs.metrics` - a thread-safe metrics registry (counters,
+  gauges, histograms, wall/virtual-time timers) with JSON serialization,
+* :mod:`repro.obs.tracer` - a span-based tracer for the discrete-event
+  simulated X1 that exports Chrome trace-event JSON (viewable in
+  ``chrome://tracing`` / Perfetto): per-MSP tracks of compute ops, SHMEM
+  get/put, DDI_GET/DDI_ACC protocols, mutex waits, barriers and I/O in
+  virtual time,
+* :mod:`repro.obs.accounting` - the single audited FLOP/byte accounting
+  path behind every GF-rate and communication-volume figure (Table 1,
+  Table 3, Figs 4-5),
+* :mod:`repro.obs.telemetry` - the :class:`Telemetry` facade the solver
+  stack accepts (``FCISolver(..., telemetry=...)``) and the no-op default
+  that keeps the library zero-cost when observability is off.
+
+Everything here is a leaf of the package graph: nothing in ``repro.obs``
+imports solver, kernel, or simulator modules, so any layer may use it.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Timer, get_registry, set_registry
+from .tracer import ChromeTracer, NullTracer, SpanTracer
+from .accounting import (
+    FlopLedger,
+    account_parallel_report,
+    account_sigma_dgemm,
+    account_sigma_moc,
+    account_trace_result,
+    dgemm_mixed_spin_flops,
+    dgemm_same_spin_flops,
+    gflops_rate,
+)
+from .telemetry import NULL_TELEMETRY, Telemetry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "SpanTracer",
+    "NullTracer",
+    "ChromeTracer",
+    "FlopLedger",
+    "gflops_rate",
+    "dgemm_mixed_spin_flops",
+    "dgemm_same_spin_flops",
+    "account_sigma_dgemm",
+    "account_sigma_moc",
+    "account_parallel_report",
+    "account_trace_result",
+    "Telemetry",
+    "NULL_TELEMETRY",
+]

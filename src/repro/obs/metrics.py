@@ -1,0 +1,277 @@
+"""Thread-safe metrics registry: counters, gauges, histograms, timers.
+
+Metric names are dotted paths (``"sigma.dgemm.flops"``); the registry is a
+flat name -> metric map guarded by one re-entrant lock, so concurrent
+benchmark threads and the (single-threaded) simulator can share one
+registry.  A process-wide singleton is available through
+:func:`get_registry` / :func:`set_registry`, but every consumer also accepts
+an explicit registry so tests can stay hermetic.
+
+``snapshot()`` returns plain JSON-serializable dicts; ``to_json()`` is the
+canonical machine-readable export the benchmark harness embeds in
+``benchmarks/results/*.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "Series",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+]
+
+
+class Counter:
+    """Monotonically increasing count (FLOPs, bytes, calls)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self._value}
+
+
+class Gauge:
+    """Last-written value (rates, sizes, imbalance)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self._value}
+
+
+class Histogram:
+    """Streaming summary of observations (count/sum/min/max/mean/std).
+
+    Keeps O(1) state (Welford) rather than raw samples, so per-iteration
+    solver quantities can be observed millions of times.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            delta = value - self._mean
+            self._mean += delta / self.count
+            self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self._m2 / self.count) if self.count > 1 else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "std": self.std,
+        }
+
+
+class Timer(Histogram):
+    """Histogram of durations with a context-manager / decorator interface.
+
+    Wall-clock by default (``time.perf_counter``); pass explicit durations
+    to :meth:`observe` to account *virtual* (simulated) seconds with the
+    same metric type.
+    """
+
+    kind = "timer"
+
+    def time(self) -> "_TimerContext":
+        return _TimerContext(self)
+
+    def __call__(self, fn):
+        def wrapped(*args, **kwargs):
+            with self.time():
+                return fn(*args, **kwargs)
+
+        wrapped.__name__ = getattr(fn, "__name__", "timed")
+        return wrapped
+
+
+class _TimerContext:
+    def __init__(self, timer: Timer):
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timer.observe(time.perf_counter() - self._start)
+
+
+class Series:
+    """Append-only list of structured records (per-iteration telemetry)."""
+
+    kind = "series"
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._records: list[dict[str, Any]] = []
+
+    def append(self, **record: Any) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    @property
+    def records(self) -> list[dict[str, Any]]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"kind": self.kind, "records": list(self._records)}
+
+
+class MetricsRegistry:
+    """Flat, thread-safe name -> metric map with JSON export."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._metrics: dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, cls):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls) and not (
+                cls is Histogram and isinstance(metric, Timer)
+            ):
+                raise TypeError(
+                    f"metric {name!r} already registered as {type(metric).__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def timer(self, name: str) -> Timer:
+        return self._get_or_create(name, Timer)
+
+    def series(self, name: str) -> Series:
+        return self._get_or_create(name, Series)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._metrics))
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {name: self._metrics[name].snapshot() for name in sorted(self._metrics)}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        def default(obj):
+            try:
+                return float(obj)
+            except (TypeError, ValueError):
+                return str(obj)
+
+        return json.dumps(self.snapshot(), indent=indent, default=default)
+
+
+_global_lock = threading.Lock()
+_global_registry: MetricsRegistry | None = None
+
+
+def get_registry() -> MetricsRegistry:
+    """Process-wide singleton registry (created on first use)."""
+    global _global_registry
+    with _global_lock:
+        if _global_registry is None:
+            _global_registry = MetricsRegistry()
+        return _global_registry
+
+
+def set_registry(registry: MetricsRegistry | None) -> MetricsRegistry | None:
+    """Replace the singleton (pass None to reset); returns the old one."""
+    global _global_registry
+    with _global_lock:
+        old = _global_registry
+        _global_registry = registry
+        return old

@@ -1,0 +1,151 @@
+"""The Telemetry facade the solver stack threads through its layers.
+
+One object carries the whole observability configuration:
+
+    from repro.obs import Telemetry, ChromeTracer
+    tel = Telemetry(tracer=ChromeTracer())
+    result = FCISolver(mol, telemetry=tel).run()
+    tel.registry.snapshot()          # metrics: FLOPs, bytes, iterations
+    tel.tracer.write("trace.json")   # if a tracer was attached
+
+Disabled telemetry is the default everywhere (``telemetry=None`` or
+:data:`NULL_TELEMETRY`): instrumented code guards each emission with a
+plain truthiness check (``if telemetry: ...``), so the disabled path costs
+one branch and allocates nothing - solver results are bitwise identical
+with and without the hooks compiled in.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Series, Timer
+from .tracer import SpanTracer
+
+__all__ = ["Telemetry", "NULL_TELEMETRY"]
+
+logger = logging.getLogger("repro.obs")
+
+SOLVER_SERIES = "solver.iterations"
+
+
+class Telemetry:
+    """Bundle of a metrics registry, an optional tracer, and an on/off bit.
+
+    Parameters
+    ----------
+    enabled:
+        False produces the no-op instance: every method returns immediately
+        and ``bool(telemetry)`` is False, which is what instrumented code
+        branches on.
+    registry:
+        Metrics sink; a fresh private :class:`MetricsRegistry` by default.
+    tracer:
+        Optional :class:`repro.obs.tracer.SpanTracer` handed to the
+        simulated-X1 engine by the parallel drivers.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        registry: MetricsRegistry | None = None,
+        tracer: SpanTracer | None = None,
+    ):
+        self.enabled = bool(enabled)
+        self.registry = registry if registry is not None else (MetricsRegistry() if enabled else None)
+        self.tracer = tracer
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Telemetry({state}, tracer={type(self.tracer).__name__ if self.tracer else None})"
+
+    # -- metric shortcuts ----------------------------------------------------
+    def counter(self, name: str) -> Counter | None:
+        return self.registry.counter(name) if self.enabled else None
+
+    def gauge(self, name: str) -> Gauge | None:
+        return self.registry.gauge(name) if self.enabled else None
+
+    def histogram(self, name: str) -> Histogram | None:
+        return self.registry.histogram(name) if self.enabled else None
+
+    def timer(self, name: str) -> Timer | None:
+        return self.registry.timer(name) if self.enabled else None
+
+    def series(self, name: str) -> Series | None:
+        return self.registry.series(name) if self.enabled else None
+
+    # -- structured emissions ------------------------------------------------
+    def solver_iteration(
+        self,
+        method: str,
+        iteration: int,
+        energy: float,
+        residual_norm: float,
+        **extra: Any,
+    ) -> None:
+        """Per-iteration eigensolver telemetry (residual, energy, lambda...)."""
+        if not self.enabled:
+            return
+        self.registry.series(SOLVER_SERIES).append(
+            method=method,
+            iteration=int(iteration),
+            energy=float(energy),
+            residual_norm=float(residual_norm),
+            **{k: (float(v) if isinstance(v, (int, float)) else v) for k, v in extra.items()},
+        )
+        self.registry.counter("solver.iterations.count").inc()
+        self.registry.histogram("solver.residual_norm").observe(residual_norm)
+        logger.debug(
+            "%s iteration %d: E=%.12f |r|=%.3e", method, iteration, energy, residual_norm
+        )
+
+    def solver_result(
+        self,
+        method: str,
+        energy: float,
+        converged: bool,
+        n_iterations: int,
+        n_sigma: int,
+        dimension: int | None = None,
+    ) -> None:
+        """Final-result telemetry emitted once per eigensolve."""
+        if not self.enabled:
+            return
+        self.registry.counter("solver.solves").inc()
+        self.registry.gauge("solver.energy").set(energy)
+        self.registry.gauge("solver.converged").set(1.0 if converged else 0.0)
+        self.registry.counter("solver.total_iterations").inc(n_iterations)
+        self.registry.counter("solver.total_sigma_builds").inc(n_sigma)
+        if dimension is not None:
+            self.registry.gauge("solver.ci_dimension").set(dimension)
+        logger.info(
+            "%s solve: E=%.12f, %d iterations, %d sigma builds, converged=%s",
+            method,
+            energy,
+            n_iterations,
+            n_sigma,
+            converged,
+        )
+
+    def iterations(self) -> list[dict[str, Any]]:
+        """Recorded per-iteration records (empty when disabled)."""
+        if not self.enabled:
+            return []
+        series = self.registry.get(SOLVER_SERIES)
+        return series.records if series is not None else []
+
+    # -- export ---------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        return self.registry.snapshot() if self.enabled else {}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return self.registry.to_json(indent) if self.enabled else "{}"
+
+
+NULL_TELEMETRY = Telemetry(enabled=False)
+"""The shared disabled instance; safe to pass anywhere a Telemetry is taken."""

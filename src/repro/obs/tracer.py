@@ -1,0 +1,203 @@
+"""Span tracers for the simulated X1: Chrome trace-event export.
+
+The discrete-event engine (:mod:`repro.x1.engine`) reports everything that
+happens on every MSP rank in *virtual* seconds: compute ops, one-sided
+SHMEM get/put, atomic fetch-add, mutex acquisition waits, barrier skew and
+shared-filesystem I/O, plus the DDI-level protocol spans (DDI_GET, DDI_ACC)
+opened by :mod:`repro.x1.ddi`.  A tracer turns that stream into a timeline.
+
+:class:`ChromeTracer` records the stream and exports the Chrome
+trace-event format (the ``traceEvents`` array understood by
+``chrome://tracing`` and https://ui.perfetto.dev): one process for the
+simulated machine, one thread track per MSP rank, complete ("X") events
+for engine ops and nested begin/end ("B"/"E") pairs for DDI protocol
+spans.  Virtual seconds map to trace microseconds.
+
+:class:`NullTracer` is the zero-cost default - the engine guards every
+callback behind ``tracer is not None``, so by default no tracer code runs
+at all; NullTracer exists for subclassing and for call-compatible stubs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = ["SpanTracer", "NullTracer", "ChromeTracer"]
+
+_US = 1e6  # virtual seconds -> trace microseconds
+
+
+class SpanTracer:
+    """Interface the engine drives; all timestamps are virtual seconds."""
+
+    def complete(
+        self,
+        rank: int,
+        name: str,
+        cat: str,
+        start: float,
+        end: float,
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        """One finished span [start, end) on ``rank``'s track."""
+
+    def instant(self, rank: int, name: str, ts: float, args: dict[str, Any] | None = None) -> None:
+        """A zero-duration marker."""
+
+    def begin(self, rank: int, name: str, ts: float, cat: str = "") -> None:
+        """Open a nested span (closed by the next :meth:`end` on the rank)."""
+
+    def end(self, rank: int, ts: float, args: dict[str, Any] | None = None) -> None:
+        """Close the innermost open span on ``rank``."""
+
+
+class NullTracer(SpanTracer):
+    """Explicit no-op tracer (the default behaviour when tracer=None)."""
+
+
+class ChromeTracer(SpanTracer):
+    """Records spans and exports Chrome trace-event JSON.
+
+    Parameters
+    ----------
+    process_name:
+        Label of the single trace process (the simulated machine).
+    min_duration:
+        Spans shorter than this (virtual seconds) are dropped to keep
+        traces of fine-grained runs viewable; 0 keeps everything.
+    """
+
+    def __init__(self, process_name: str = "simulated Cray-X1", min_duration: float = 0.0):
+        self.process_name = process_name
+        self.min_duration = float(min_duration)
+        self._events: list[dict[str, Any]] = []
+        self._open: dict[int, list[dict[str, Any]]] = {}
+        self._ranks: set[int] = set()
+
+    # -- SpanTracer interface ------------------------------------------------
+    def complete(self, rank, name, cat, start, end, args=None):
+        if end - start < self.min_duration:
+            return
+        self._ranks.add(rank)
+        ev = {
+            "name": name,
+            "cat": cat or "op",
+            "ph": "X",
+            "ts": start * _US,
+            "dur": max(end - start, 0.0) * _US,
+            "pid": 0,
+            "tid": int(rank),
+        }
+        if args:
+            ev["args"] = dict(args)
+        self._events.append(ev)
+
+    def instant(self, rank, name, ts, args=None):
+        self._ranks.add(rank)
+        ev = {
+            "name": name,
+            "cat": "marker",
+            "ph": "i",
+            "ts": ts * _US,
+            "pid": 0,
+            "tid": int(rank),
+            "s": "t",
+        }
+        if args:
+            ev["args"] = dict(args)
+        self._events.append(ev)
+
+    def begin(self, rank, name, ts, cat=""):
+        self._ranks.add(rank)
+        ev = {
+            "name": name,
+            "cat": cat or "protocol",
+            "ph": "B",
+            "ts": ts * _US,
+            "pid": 0,
+            "tid": int(rank),
+        }
+        self._events.append(ev)
+        self._open.setdefault(rank, []).append(ev)
+
+    def end(self, rank, ts, args=None):
+        stack = self._open.get(rank)
+        if not stack:
+            return  # unmatched end: tolerate rather than corrupt the trace
+        opened = stack.pop()
+        ev = {
+            "name": opened["name"],
+            "cat": opened["cat"],
+            "ph": "E",
+            "ts": ts * _US,
+            "pid": 0,
+            "tid": int(rank),
+        }
+        if args:
+            ev["args"] = dict(args)
+        self._events.append(ev)
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def n_events(self) -> int:
+        return len(self._events)
+
+    def events(self, rank: int | None = None) -> list[dict[str, Any]]:
+        if rank is None:
+            return list(self._events)
+        return [e for e in self._events if e["tid"] == rank]
+
+    def span_names(self) -> set[str]:
+        return {e["name"] for e in self._events}
+
+    def total_duration(self, name_prefix: str) -> float:
+        """Summed virtual seconds of all complete spans named ``prefix*``."""
+        return (
+            sum(e["dur"] for e in self._events if e["ph"] == "X" and e["name"].startswith(name_prefix))
+            / _US
+        )
+
+    # -- export --------------------------------------------------------------
+    def export(self) -> dict[str, Any]:
+        """The Chrome trace-event document (a plain dict)."""
+        meta: list[dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "args": {"name": self.process_name},
+            }
+        ]
+        for rank in sorted(self._ranks):
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": int(rank),
+                    "args": {"name": f"MSP {rank}"},
+                }
+            )
+            meta.append(
+                {
+                    "name": "thread_sort_index",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": int(rank),
+                    "args": {"sort_index": int(rank)},
+                }
+            )
+        # stable per-rank time order (B before E at equal ts is preserved by
+        # the stable sort because events were appended in causal order)
+        body = sorted(self._events, key=lambda e: (e["tid"], e["ts"]))
+        return {"traceEvents": meta + body, "displayTimeUnit": "ms"}
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.export(), indent=indent)
+
+    def write(self, path) -> str:
+        """Write the trace JSON; returns the path written."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+        return str(path)

@@ -32,10 +32,11 @@ import numpy as np
 
 from ..core.problem import CIProblem
 from ..core.sigma_dgemm import _same_spin_rows, one_electron_operators
+from ..obs.accounting import account_parallel_report
 from ..x1.ddi import DDIArray, DynamicLoadBalancer, block_ranges
 from ..x1.engine import Engine, RankStats, SymmetricHeap
 from ..x1.machine import X1Config
-from .taskpool import Task, build_task_pool
+from .taskpool import Task, build_task_pool, publish_pool_metrics
 
 __all__ = ["ParallelSigma", "ParallelReport"]
 
@@ -70,7 +71,14 @@ class ParallelReport:
 
 
 class ParallelSigma:
-    """Parallel sigma operator; call it like a function on CI matrices."""
+    """Parallel sigma operator; call it like a function on CI matrices.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) routes per-call FLOP and
+    byte accounting into its metrics registry; ``tracer`` (a
+    :class:`repro.obs.tracer.SpanTracer`, defaulting to the telemetry's
+    tracer) records the per-rank virtual-time timeline of every engine run.
+    Both default to off and cost nothing when off.
+    """
 
     def __init__(
         self,
@@ -81,10 +89,14 @@ class ParallelSigma:
         n_fine_per_proc: int = 8,
         n_large_per_proc: int = 3,
         n_small_per_proc: int = 4,
+        telemetry=None,
+        tracer=None,
     ):
         self.problem = problem
         self.config = config
         self.block_columns = block_columns
+        self.telemetry = telemetry
+        self.tracer = tracer if tracer is not None else (telemetry.tracer if telemetry else None)
         P = config.n_msps
         na, nb = problem.shape
         self.row_ranges = block_ranges(na, P)
@@ -126,6 +138,8 @@ class ParallelSigma:
             n_large_per_proc=n_large_per_proc,
             n_small_per_proc=n_small_per_proc,
         )
+        if self.telemetry:
+            publish_pool_metrics(self.telemetry.registry, self.tasks, "taskpool.mixed")
         # per-task gather metadata
         self._task_meta = []
         for t in self.tasks:
@@ -224,7 +238,7 @@ class ParallelSigma:
                     / max(problem.space_b.size, 1)
                     * problem.space_b.size
                 )
-                yield proc.compute(t, flops=flops, label="beta-beta")
+                yield proc.compute(t, flops=flops, label="beta-beta", name="DGEMM beta-beta")
             Sd.local_block(r)[...] = sig_local
             yield proc.barrier()
 
@@ -241,7 +255,7 @@ class ParallelSigma:
                 w = chi - clo
                 flops = 2.0 * npair * npair * nka * w
                 t = cfg.dgemm_time(npair, max(nka * w, 1), npair) if nka else 0.0
-                yield proc.compute(t, flops=flops, label="alpha-alpha")
+                yield proc.compute(t, flops=flops, label="alpha-alpha", name="DGEMM alpha-alpha")
                 yield from Sd.iacc_col_block(proc, clo, chi, X, label="alpha-alpha")
             yield proc.barrier()
 
@@ -255,7 +269,7 @@ class ParallelSigma:
                 Csub = yield from Cd.iget_rows(proc, meta["rows"], label="alpha-beta")
                 out = self._mixed_subset(Csub, meta)
                 t, flops = self._mixed_task_time(meta)
-                yield proc.compute(t, flops=flops, label="alpha-beta")
+                yield proc.compute(t, flops=flops, label="alpha-beta", name="DGEMM alpha-beta")
                 yield from Sd.iacc_rows(
                     proc,
                     np.arange(task.start, task.stop),
@@ -264,9 +278,13 @@ class ParallelSigma:
                 )
             yield proc.barrier()
 
-        engine = Engine(cfg, heap)
+        engine = Engine(cfg, heap, tracer=self.tracer)
         stats = engine.run([program] * P)
         self.report.merge(stats, engine.elapsed(), engine.load_imbalance())
+        if self.telemetry:
+            run = ParallelReport()
+            run.merge(stats, engine.elapsed(), engine.load_imbalance())
+            account_parallel_report(self.telemetry.registry, run, P)
 
         sigma = np.empty_like(C)
         for r, (lo, hi) in enumerate(self.row_ranges):

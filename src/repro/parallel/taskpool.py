@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Task", "build_task_pool", "pool_statistics"]
+__all__ = ["Task", "build_task_pool", "pool_statistics", "publish_pool_metrics"]
 
 
 @dataclass
@@ -136,3 +136,14 @@ def pool_statistics(tasks: list[Task]) -> dict[str, float]:
         "mean_cost": float(costs.mean()),
         "tail_cost": float(costs[-1]) if len(tasks) else 0.0,
     }
+
+
+def publish_pool_metrics(registry, tasks: list[Task], prefix: str = "taskpool") -> None:
+    """Record pool shape in a metrics registry (``repro.obs``) as gauges.
+
+    The max/tail-cost ratio bounds the worst-case dynamic-load-balancing
+    imbalance, which is what the Fig-3 study varies.
+    """
+    stats = pool_statistics(tasks)
+    for key, value in stats.items():
+        registry.gauge(f"{prefix}.{key}").set(value)

@@ -38,10 +38,11 @@ import numpy as np
 
 from ..core.strings import count_strings_by_irrep
 from ..molecule.symmetry import PointGroup
+from ..obs.accounting import account_trace_result
 from ..x1.ddi import DynamicLoadBalancer, block_ranges
 from ..x1.engine import Engine, SymmetricHeap
 from ..x1.machine import X1Config
-from .taskpool import Task, build_task_pool
+from .taskpool import Task, build_task_pool, publish_pool_metrics
 
 __all__ = ["FCISpaceSpec", "TraceResult", "TraceFCI", "homonuclear_diatomic_irreps", "atom_irreps"]
 
@@ -230,12 +231,16 @@ class TraceFCI:
         samespin_flop_factor: float = 1.15,
         io_bytes_per_iteration: float | None = None,
         units_per_pool: int | None = None,
+        telemetry=None,
+        tracer=None,
     ):
         if algorithm not in ("dgemm", "moc"):
             raise ValueError("algorithm must be 'dgemm' or 'moc'")
         self.spec = spec
         self.config = config
         self.algorithm = algorithm
+        self.telemetry = telemetry
+        self.tracer = tracer if tracer is not None else (telemetry.tracer if telemetry else None)
         self.mixed_flop_factor = mixed_flop_factor
         self.samespin_flop_factor = samespin_flop_factor
         # restart/checkpoint traffic per iteration: calibrated against the
@@ -293,6 +298,8 @@ class TraceFCI:
             n_small_per_proc=n_small_per_proc,
         )
         self._unit_costs = np.asarray(unit_costs)
+        if self.telemetry:
+            publish_pool_metrics(self.telemetry.registry, self.tasks, "taskpool.mixed")
 
     # -- cost helpers --------------------------------------------------------
     def _bb_cost(self, elements: float, spin: str = "b") -> tuple[float, float]:
@@ -405,6 +412,7 @@ class TraceFCI:
         acc_targets = rng.integers(0, P, size=n_tasks)
         same_spin_both = spec.n_alpha != spec.n_beta
         algo = self.algorithm
+        kern = "DGEMM" if algo == "dgemm" else "MOC"
 
         def program(proc, _heap):
             r = proc.rank
@@ -416,7 +424,7 @@ class TraceFCI:
             else:
                 t, fl = self._bb_cost_moc(local_elems, "b")
             if t > 0:
-                yield proc.compute(t, flops=fl, label="beta-beta")
+                yield proc.compute(t, flops=fl, label="beta-beta", name=f"{kern} beta-beta")
             if same_spin_both:
                 if algo == "dgemm":
                     t, fl = self._bb_cost(local_elems, "a")
@@ -427,7 +435,7 @@ class TraceFCI:
                 else:
                     t, fl = self._bb_cost_moc(local_elems, "a")
                 if t > 0:
-                    yield proc.compute(t, flops=fl, label="alpha-alpha")
+                    yield proc.compute(t, flops=fl, label="alpha-alpha", name=f"{kern} alpha-alpha")
                 if algo == "dgemm":
                     yield proc.get(int((r + 2) % P), "", n_bytes=local_elems * 8.0, label="alpha-alpha")
                     yield proc.put(int((r + 2) % P), "", n_bytes=local_elems * 8.0, label="alpha-alpha")
@@ -440,17 +448,21 @@ class TraceFCI:
                     break
                 task = tasks[tid]
                 seconds, flops, gbytes, abytes = self._mixed_task_cost(task)
+                yield proc.span_begin("DDI_GET", label="alpha-beta")
                 yield proc.get(
                     int(gather_targets[tid]), "", n_bytes=gbytes, label="alpha-beta"
                 )
-                yield proc.compute(seconds, flops=flops, label="alpha-beta")
+                yield proc.span_end()
+                yield proc.compute(seconds, flops=flops, label="alpha-beta", name=f"{kern} alpha-beta")
                 owner = int(acc_targets[tid])
                 mutex = 777000 + owner // cfg.msps_per_node
+                yield proc.span_begin("DDI_ACC", label="alpha-beta")
                 yield proc.lock(mutex, label="alpha-beta")
                 yield proc.get(owner, "", n_bytes=abytes / 2, label="alpha-beta")
                 yield proc.put(owner, "", n_bytes=abytes / 2, label="alpha-beta")
                 yield proc.quiet(label="alpha-beta")
                 yield proc.unlock(mutex, label="alpha-beta")
+                yield proc.span_end()
             yield proc.barrier()
 
             # ---- vector symmetrization ----
@@ -477,7 +489,7 @@ class TraceFCI:
             # ---- restart I/O (shared filesystem, serialized) ----
             yield proc.io(self.io_bytes / P, write=True, label="disk-io")
 
-        engine = Engine(cfg, heap)
+        engine = Engine(cfg, heap, tracer=self.tracer)
         stats = engine.run([program] * P)
         phase: dict[str, float] = {}
         for s in stats:
@@ -495,7 +507,7 @@ class TraceFCI:
         total_flops = sum(s.flops for s in stats)
         comm_bytes = sum(s.bytes_received + s.bytes_sent for s in stats)
         io_seconds = max(s.io for s in stats)
-        return TraceResult(
+        result = TraceResult(
             spec_name=spec.name or spec.describe(),
             n_msps=P,
             algorithm=self.algorithm,
@@ -507,6 +519,9 @@ class TraceFCI:
             total_flops=total_flops,
             io_seconds=io_seconds,
         )
+        if self.telemetry:
+            account_trace_result(self.telemetry.registry, result)
+        return result
 
 
     def run_calculation(self, n_iterations: int = 25) -> dict:

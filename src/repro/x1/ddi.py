@@ -107,6 +107,7 @@ class DDIArray:
         """DDI_GET of a row list; returns (len(rows), n_cols) in numeric mode."""
         rows = np.asarray(rows, dtype=np.int64)
         out = np.empty((rows.size, self.n_cols)) if self.numeric else None
+        yield proc.span_begin("DDI_GET", label=label)
         for owner, grp_rows, positions in self._group_by_owner(rows):
             lo = self.ranges[owner][0]
             local = grp_rows - lo
@@ -120,6 +121,7 @@ class DDIArray:
             )
             if out is not None:
                 out[positions] = data
+        yield proc.span_end()
         return out
 
     def iget_col_block(self, proc: Proc, col_lo: int, col_hi: int, label: str = "gather"):
@@ -127,6 +129,7 @@ class DDIArray:
         transpose building block; returns (n_rows, col_hi-col_lo) numeric."""
         width = col_hi - col_lo
         out = np.empty((self.n_rows, width)) if self.numeric else None
+        yield proc.span_begin("DDI_GET", label=label)
         for owner, (lo, hi) in enumerate(self.ranges):
             if hi <= lo:
                 continue
@@ -140,11 +143,13 @@ class DDIArray:
             )
             if out is not None:
                 out[lo:hi] = data
+        yield proc.span_end()
         return out
 
     def iacc_col_block(self, proc: Proc, col_lo: int, col_hi: int, data, label: str = "accumulate"):
         """DDI_ACC of a full column block into every owner's local rows."""
         width = col_hi - col_lo
+        yield proc.span_begin("DDI_ACC", label=label)
         for owner, (lo, hi) in enumerate(self.ranges):
             if hi <= lo:
                 continue
@@ -157,10 +162,12 @@ class DDIArray:
             yield proc.put(owner, self.name, key=key, value=updated, n_bytes=nbytes, label=label)
             yield proc.quiet(label=label)
             yield proc.unlock(mutex, label=label)
+        yield proc.span_end()
 
     def iacc_rows(self, proc: Proc, rows, data, label: str = "accumulate"):
         """DDI_ACC: the paper's lock/get/add/put/quiet/unlock protocol."""
         rows = np.asarray(rows, dtype=np.int64)
+        yield proc.span_begin("DDI_ACC", label=label)
         for owner, grp_rows, positions in self._group_by_owner(rows):
             lo = self.ranges[owner][0]
             local = grp_rows - lo
@@ -188,6 +195,7 @@ class DDIArray:
             )
             yield proc.quiet(label=label)
             yield proc.unlock(mutex, label=label)
+        yield proc.span_end()
 
 
 class DynamicLoadBalancer:

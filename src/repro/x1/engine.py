@@ -141,8 +141,8 @@ class Proc:
         self.n_ranks = n_ranks
 
     @staticmethod
-    def compute(seconds: float, flops: float = 0.0, label: str = "") -> Op:
-        return Op(kind="compute", seconds=float(seconds), value=flops, label=label)
+    def compute(seconds: float, flops: float = 0.0, label: str = "", name: str = "") -> Op:
+        return Op(kind="compute", seconds=float(seconds), value=flops, label=label, name=name)
 
     @staticmethod
     def get(target: int, name: str, key=None, n_bytes: float = 0.0, label: str = "") -> Op:
@@ -176,24 +176,42 @@ class Proc:
     def io(n_bytes: float, write: bool, label: str = "io") -> Op:
         return Op(kind="io", n_bytes=n_bytes, write=write, label=label)
 
+    @staticmethod
+    def span_begin(name: str, label: str = "") -> Op:
+        """Open a named tracer span (zero virtual time; no-op untraced)."""
+        return Op(kind="span_begin", name=name, label=label)
+
+    @staticmethod
+    def span_end() -> Op:
+        """Close the innermost tracer span (zero virtual time)."""
+        return Op(kind="span_end")
+
 
 Program = Callable[[Proc, SymmetricHeap], Generator[Op, Any, None]]
 
 
 class Engine:
-    """Runs P rank programs to completion in virtual time."""
+    """Runs P rank programs to completion in virtual time.
 
-    def __init__(self, config: X1Config, heap: SymmetricHeap):
+    ``tracer`` (any :class:`repro.obs.tracer.SpanTracer`) receives one span
+    per op in virtual time - compute, SHMEM get/put/fadd, mutex waits,
+    barrier skew, I/O - plus the DDI protocol spans opened with
+    ``span_begin``/``span_end`` ops.  The default (None) emits nothing and
+    costs a single identity check per op.
+    """
+
+    def __init__(self, config: X1Config, heap: SymmetricHeap, tracer=None):
         if heap.n_ranks != config.n_msps:
             raise ValueError("heap rank count must match config.n_msps")
         self.config = config
         self.heap = heap
+        self.tracer = tracer
         self.n_ranks = config.n_msps
         self.stats = [RankStats() for _ in range(self.n_ranks)]
         self._port_free = [0.0] * self.n_ranks  # remote-memory port occupancy
         self._io_free = 0.0  # shared filesystem
         self._mutex_owner: dict[int, int] = {}
-        self._mutex_queue: dict[int, list[tuple[float, int]]] = {}
+        self._mutex_queue: dict[int, list[tuple[float, int, str]]] = {}
         self._barrier_waiting: list[tuple[float, int]] = []
         self._done = [False] * self.n_ranks
         self._n_events = 0
@@ -245,12 +263,33 @@ class Engine:
     def _handle(self, op: Op, rank: int, clocks, results, queue) -> float | None:
         cfg = self.config
         st = self.stats[rank]
+        tr = self.tracer
         now = clocks[rank]
         if op.kind == "compute":
             st.compute += op.seconds
             st.flops += float(op.value or 0.0)
             st.charge_phase(op.label, op.seconds, float(op.value or 0.0))
-            return now + op.seconds
+            end = now + op.seconds
+            if tr is not None:
+                tr.complete(
+                    rank,
+                    op.name or op.label or "compute",
+                    op.label or "compute",
+                    now,
+                    end,
+                    args={"flops": float(op.value)} if op.value else None,
+                )
+            return end
+
+        if op.kind == "span_begin":
+            if tr is not None:
+                tr.begin(rank, op.name, now, op.label)
+            return now
+
+        if op.kind == "span_end":
+            if tr is not None:
+                tr.end(rank, now)
+            return now
 
         if op.kind in ("get", "put"):
             nbytes = float(op.n_bytes)
@@ -270,6 +309,15 @@ class Engine:
             st.wait += wait
             st.communication += end - now - wait
             st.charge_phase(op.label, end - now)
+            if tr is not None:
+                tr.complete(
+                    rank,
+                    "SHMEM_GET" if op.kind == "get" else "SHMEM_PUT",
+                    op.label or "shmem",
+                    now,
+                    end,
+                    args={"target": op.target, "bytes": nbytes, "port_wait": wait},
+                )
             if op.kind == "get":
                 st.bytes_received += nbytes
                 if op.name:
@@ -289,6 +337,15 @@ class Engine:
             st.wait += begin - start
             st.communication += end - now - (begin - start)
             st.charge_phase(op.label, end - now)
+            if tr is not None:
+                tr.complete(
+                    rank,
+                    "SHMEM_FADD",
+                    op.label or "atomic",
+                    now,
+                    end,
+                    args={"target": op.target, "port_wait": begin - start},
+                )
             arr = self.heap.segment(op.name, op.target)
             if arr is None:
                 raise RuntimeError("fadd requires a numeric heap segment")
@@ -304,8 +361,10 @@ class Engine:
                 end = now + cfg.atomic_overhead
                 st.communication += cfg.atomic_overhead
                 st.charge_phase(op.label, cfg.atomic_overhead)
+                if tr is not None:
+                    tr.complete(rank, "mutex_lock", op.label or "mutex", now, end, args={"mutex": mid})
                 return end
-            self._mutex_queue.setdefault(mid, []).append((now, rank))
+            self._mutex_queue.setdefault(mid, []).append((now, rank, op.label))
             return None  # parked until unlock
 
         if op.kind == "unlock":
@@ -315,13 +374,24 @@ class Engine:
             del self._mutex_owner[mid]
             end = now + cfg.atomic_overhead
             st.communication += cfg.atomic_overhead
+            if tr is not None:
+                tr.complete(rank, "mutex_unlock", op.label or "mutex", now, end, args={"mutex": mid})
             waiters = self._mutex_queue.get(mid)
             if waiters:
-                wait_since, next_rank = waiters.pop(0)
+                wait_since, next_rank, wait_label = waiters.pop(0)
                 self._mutex_owner[mid] = next_rank
                 grant = max(end, wait_since) + cfg.atomic_overhead
                 self.stats[next_rank].wait += grant - wait_since
                 clocks[next_rank] = grant
+                if tr is not None:
+                    tr.complete(
+                        next_rank,
+                        "mutex_wait",
+                        wait_label or "mutex",
+                        wait_since,
+                        grant,
+                        args={"mutex": mid, "held_by": rank},
+                    )
                 heapq.heappush(queue, (grant, self._n_events, next_rank))
             return end
 
@@ -335,6 +405,8 @@ class Engine:
         if op.kind == "quiet":
             dt = self.config.latency_local
             st.communication += dt
+            if tr is not None:
+                tr.complete(rank, "SHMEM_QUIET", op.label or "shmem", now, now + dt)
             return now + dt
 
         if op.kind == "io":
@@ -344,6 +416,15 @@ class Engine:
             st.wait += begin - now
             st.io += end - begin
             st.charge_phase(op.label, end - now)
+            if tr is not None:
+                tr.complete(
+                    rank,
+                    "io_write" if op.write else "io_read",
+                    op.label or "io",
+                    now,
+                    end,
+                    args={"bytes": float(op.n_bytes), "queue_wait": begin - now},
+                )
             return end
 
         raise ValueError(f"unknown op kind {op.kind!r}")
@@ -352,10 +433,13 @@ class Engine:
         if not self._barrier_waiting:
             return
         t = max(w for w, _ in self._barrier_waiting) + self.config.latency_remote
+        tr = self.tracer
         for w, r in self._barrier_waiting:
             self.stats[r].wait += t - w
             clocks[r] = t
             results[r] = None
+            if tr is not None:
+                tr.complete(r, "barrier", "sync", w, t)
             heapq.heappush(queue, (t, self._n_events, r))
             self._n_events += 1
         self._barrier_waiting = []

@@ -17,7 +17,8 @@ Quick start::
 import logging
 
 from .molecule import Molecule, PointGroup
-from .core import FCIResult, FCISolver, fci
+from .core import Checkpointer, FCIResult, FCISolver, fci
+from .faults import ChaosConfig, FaultInjector, FaultPlan
 from .obs import ChromeTracer, MetricsRegistry, Telemetry, get_registry
 
 # Library code reports through the "repro" logger hierarchy rather than
@@ -32,6 +33,10 @@ __all__ = [
     "FCIResult",
     "FCISolver",
     "fci",
+    "Checkpointer",
+    "ChaosConfig",
+    "FaultInjector",
+    "FaultPlan",
     "Telemetry",
     "ChromeTracer",
     "MetricsRegistry",

@@ -17,6 +17,13 @@ from .problem import CIProblem
 from .sigma_dgemm import SigmaCounters, one_electron_operators, sigma_dgemm
 from .sigma_moc import MOCCounters, sigma_moc
 from .model_space import DiagonalPreconditioner, ModelSpacePreconditioner
+from .checkpoint import CheckpointError, Checkpointer, CheckpointState
+from .guards import (
+    EnergyDivergenceError,
+    IterateGuard,
+    NonFiniteIterateError,
+    SolverGuardError,
+)
 from .olsen import SolveResult, olsen_correction, olsen_solve
 from .davidson import davidson_solve
 from .auto_single import auto_adjusted_solve
@@ -47,6 +54,13 @@ __all__ = [
     "sigma_moc",
     "DiagonalPreconditioner",
     "ModelSpacePreconditioner",
+    "CheckpointError",
+    "Checkpointer",
+    "CheckpointState",
+    "EnergyDivergenceError",
+    "IterateGuard",
+    "NonFiniteIterateError",
+    "SolverGuardError",
     "SolveResult",
     "olsen_correction",
     "olsen_solve",

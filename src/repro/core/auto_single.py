@@ -28,26 +28,44 @@ from typing import Callable
 import numpy as np
 import scipy.linalg
 
+from .checkpoint import Checkpointer, CheckpointState
+from .guards import DEFAULT_DIVERGENCE_THRESHOLD, IterateGuard
 from .model_space import DiagonalPreconditioner
 from .olsen import SolveResult, olsen_correction
 
 __all__ = ["auto_adjusted_solve"]
 
 
-def _optimal_step(e_cc: float, e_ct: float, e_tt: float, t_norm2: float) -> float:
+def _optimal_step(
+    e_cc: float, e_ct: float, e_tt: float, t_norm2: float, on_fallback=None
+) -> float:
     """Mixing ratio of the lowest root of the 2x2 pencil in span{C, t}.
 
     Solves [[e_cc, e_ct], [e_ct, e_tt]] x = mu [[1, 0], [0, t_norm2]] x and
     returns lambda = x_t / x_C for the lowest root mu.
+
+    When the 2x2 solve is ill-conditioned - non-finite inputs (the eq. 14
+    retroactive recovery divides by lambda^2), a numerically vanishing
+    correction norm, an eigensolver failure, or a lowest root with no C
+    component - the method degrades to a plain Olsen step (lambda = 1) and
+    reports it through ``on_fallback(reason)``.
     """
+    if not all(map(np.isfinite, (e_cc, e_ct, e_tt, t_norm2))) or t_norm2 <= 0.0:
+        if on_fallback:
+            on_fallback("non_finite_2x2")
+        return 1.0
     A = np.array([[e_cc, e_ct], [e_ct, e_tt]])
     B = np.array([[1.0, 0.0], [0.0, t_norm2]])
     try:
         evals, evecs = scipy.linalg.eigh(A, B)
     except (np.linalg.LinAlgError, ValueError):
+        if on_fallback:
+            on_fallback("eigh_failed")
         return 1.0
     vec = evecs[:, 0]
     if abs(vec[0]) < 1e-12:
+        if on_fallback:
+            on_fallback("degenerate_root")
         return 1.0
     return float(vec[1] / vec[0])
 
@@ -62,6 +80,8 @@ def auto_adjusted_solve(
     max_iterations: int = 60,
     max_step: float = 4.0,
     telemetry=None,
+    checkpoint: Checkpointer | None = None,
+    divergence_threshold: float | None = DEFAULT_DIVERGENCE_THRESHOLD,
 ) -> SolveResult:
     """Automatically adjusted single-vector iteration (paper section 2.2).
 
@@ -69,6 +89,14 @@ def auto_adjusted_solve(
     ``solver.iterations`` sample per iteration (energy, residual norm and
     the step length lambda used to *reach* the current iterate); None
     disables all instrumentation.
+
+    ``checkpoint`` (a :class:`Checkpointer`) persists the method's whole
+    restart state - the CI vector plus the eq. 14-15 scalars - after each
+    iteration, which is exactly the paper's selling point: one vector is
+    all a multi-week campaign needs to survive.  A resumed solve replays
+    the exact iteration sequence of an uninterrupted one.  Ill-conditioned
+    2x2 subspace solves fall back to a plain Olsen step (lambda = 1),
+    counted under ``faults.recovered.lambda_fallback``.
     """
     C = guess / np.linalg.norm(guess)
     energies: list[float] = []
@@ -78,7 +106,25 @@ def auto_adjusted_solve(
     prev: dict | None = None  # state of the previous iteration
     lam = 1.0
     e = 0.0
-    for it in range(1, max_iterations + 1):
+    start_it = 0
+    if checkpoint is not None:
+        state = checkpoint.restore("auto")
+        if state is not None:
+            C = state.vector.reshape(guess.shape)
+            prev = state.meta.get("prev")
+            lam = state.meta.get("lambda", 1.0)
+            energies = list(state.energies)
+            rnorms = list(state.residual_norms)
+            n_sigma = state.n_sigma
+            start_it = state.iteration
+
+    def on_fallback(reason: str) -> None:
+        if telemetry:
+            telemetry.registry.counter("faults.recovered.lambda_fallback").inc()
+            telemetry.registry.counter(f"faults.detected.{reason}").inc()
+
+    guard = IterateGuard(divergence_threshold, telemetry=telemetry)
+    for it in range(start_it + 1, max_iterations + 1):
         sigma = sigma_fn(C)
         n_sigma += 1
         e = float(np.vdot(C, sigma))
@@ -87,6 +133,7 @@ def auto_adjusted_solve(
         rnorms.append(rnorm)
         if telemetry:
             telemetry.solver_iteration("auto", it, e, rnorm, lam=lam)
+        guard.check(it, e, rnorm)
         if (
             prev is not None
             and abs(e - prev["energy"]) < energy_tol
@@ -110,7 +157,7 @@ def auto_adjusted_solve(
         if prev is None:
             # crude first-iteration estimate: <t|H|t> ~ <t|H0|t>
             e_tt = float(np.vdot(t, precond.apply_h0(t)))
-            lam = _optimal_step(e, e_ct, e_tt, max(t_norm2, 1e-300))
+            lam = _optimal_step(e, e_ct, e_tt, max(t_norm2, 1e-300), on_fallback)
         else:
             # eq. 14: recover <t|H|t> of the *previous* iteration from the
             # current energy, then eq. 15: lambda(n+1) = lambda_opt(n).
@@ -118,9 +165,10 @@ def auto_adjusted_solve(
             s2 = prev["s2"]  # S^2 of the previous normalization
             e_tt_prev = (e / s2 - prev["energy"] - 2.0 * lp * prev["e_ct"]) / (lp * lp)
             lam = _optimal_step(
-                prev["energy"], prev["e_ct"], e_tt_prev, prev["t_norm2"]
+                prev["energy"], prev["e_ct"], e_tt_prev, prev["t_norm2"], on_fallback
             )
         if not np.isfinite(lam) or lam == 0.0:
+            on_fallback("degenerate_step")
             lam = 1.0
         lam = float(np.clip(lam, -max_step, max_step))
 
@@ -134,6 +182,18 @@ def auto_adjusted_solve(
             "s2": 1.0 / nrm2,
         }
         C = new / np.sqrt(nrm2)
+        if checkpoint is not None:
+            checkpoint.maybe_save(
+                CheckpointState(
+                    method="auto",
+                    iteration=it,
+                    n_sigma=n_sigma,
+                    vector=C,
+                    meta={"prev": prev, "lambda": lam},
+                    energies=energies,
+                    residual_norms=rnorms,
+                )
+            )
 
     return SolveResult(
         energy=e,

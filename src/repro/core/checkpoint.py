@@ -1,0 +1,175 @@
+"""Atomic, CRC-verified checkpointing of single-vector CI iterations.
+
+The paper's method is *designed* for long campaigns: the whole restart state
+of the automatically adjusted single-vector scheme is one CI vector plus a
+handful of scalars (the retroactive 2x2 bookkeeping of eqs. 14-15).  This
+module makes that restart state durable:
+
+* a checkpoint is one ``.npz`` file holding the CI vector and a JSON header
+  (method, iteration counters, method-specific scalars, energy/residual
+  history),
+* writes are atomic: serialize to ``<path>.tmp``, fsync, then
+  ``os.replace`` - a crash mid-write never corrupts the previous good
+  checkpoint,
+* the vector payload carries a CRC32; a mismatch on load (torn write,
+  bit-rot) raises :class:`CheckpointError`, and :meth:`Checkpointer.restore`
+  degrades it to "no checkpoint" so a solve falls back to a fresh start
+  instead of diverging from garbage.
+
+Restarting olsen/auto from a checkpoint replays the *exact* iteration
+sequence (floats round-trip losslessly through both the npz payload and the
+JSON header), so an interrupted-plus-resumed solve takes no more total
+iterations than an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CheckpointState", "Checkpointer", "CheckpointError"]
+
+logger = logging.getLogger(__name__)
+
+_FORMAT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """The checkpoint file is unreadable or fails its integrity check."""
+
+
+@dataclass
+class CheckpointState:
+    """Everything needed to resume an iterative eigensolve."""
+
+    method: str  # "olsen" | "auto" | "davidson"
+    iteration: int  # completed iterations
+    n_sigma: int  # sigma evaluations so far
+    vector: np.ndarray  # current CI iterate (post-update, normalized)
+    meta: dict = field(default_factory=dict)  # method-specific scalars
+    energies: list = field(default_factory=list)
+    residual_norms: list = field(default_factory=list)
+
+
+class Checkpointer:
+    """Saves/loads :class:`CheckpointState` at ``path`` atomically.
+
+    ``every`` throttles :meth:`maybe_save` to every N-th iteration (the
+    write is one CI vector, so every iteration is usually affordable - the
+    point of the single-vector method).  ``telemetry`` (a
+    :class:`repro.obs.Telemetry`) counts saves, restores, and rejected
+    checkpoints in its metrics registry; None is a strict no-op.
+    """
+
+    def __init__(self, path, *, every: int = 1, telemetry=None):
+        self.path = os.fspath(path)
+        self.every = max(1, int(every))
+        self.telemetry = telemetry
+
+    def _count(self, name: str) -> None:
+        if self.telemetry:
+            self.telemetry.registry.counter(name).inc()
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def clear(self) -> None:
+        """Remove the checkpoint file (e.g. after a converged campaign)."""
+        if os.path.exists(self.path):
+            os.remove(self.path)
+
+    def maybe_save(self, state: CheckpointState) -> bool:
+        """Save if the iteration falls on the ``every`` grid."""
+        if state.iteration % self.every:
+            return False
+        self.save(state)
+        return True
+
+    def save(self, state: CheckpointState) -> None:
+        """Atomically persist ``state`` (write-tmp, fsync, rename)."""
+        vec = np.ascontiguousarray(state.vector)
+        header = {
+            "version": _FORMAT_VERSION,
+            "method": state.method,
+            "iteration": int(state.iteration),
+            "n_sigma": int(state.n_sigma),
+            "meta": state.meta,
+            "energies": [float(e) for e in state.energies],
+            "residual_norms": [float(r) for r in state.residual_norms],
+            "shape": list(vec.shape),
+            "dtype": str(vec.dtype),
+            "crc32": zlib.crc32(vec.tobytes()),
+        }
+        blob = json.dumps(header).encode()
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as f:
+            np.savez(f, vector=vec, header=np.frombuffer(blob, dtype=np.uint8))
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, self.path)
+        self._count("solver.checkpoint.saves")
+
+    def load(self) -> CheckpointState | None:
+        """Load and verify; None if absent, :class:`CheckpointError` if bad."""
+        if not os.path.exists(self.path):
+            return None
+        try:
+            with np.load(self.path) as z:
+                vec = np.array(z["vector"])
+                header = json.loads(bytes(z["header"].tobytes()).decode())
+        except Exception as exc:  # torn write, not an npz, bad JSON, ...
+            raise CheckpointError(f"unreadable checkpoint {self.path!r}: {exc}") from exc
+        if header.get("version") != _FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.path!r} has unsupported version {header.get('version')!r}"
+            )
+        if zlib.crc32(vec.tobytes()) != header["crc32"]:
+            raise CheckpointError(f"checkpoint {self.path!r} failed CRC32 verification")
+        return CheckpointState(
+            method=header["method"],
+            iteration=header["iteration"],
+            n_sigma=header["n_sigma"],
+            vector=vec,
+            meta=header["meta"],
+            energies=header["energies"],
+            residual_norms=header["residual_norms"],
+        )
+
+    def restore(self, method: str | None = None) -> CheckpointState | None:
+        """Best-effort load for a restart.
+
+        A corrupt checkpoint is logged, counted, and treated as absent (a
+        fresh start beats iterating from garbage); a checkpoint written by a
+        *different* method contributes its vector as the initial guess but
+        none of its scalar state.
+        """
+        try:
+            state = self.load()
+        except CheckpointError as exc:
+            logger.warning("ignoring bad checkpoint: %s", exc)
+            self._count("solver.checkpoint.rejected")
+            return None
+        if state is None:
+            return None
+        if method is not None and state.method != method:
+            logger.warning(
+                "checkpoint %r was written by method %r; resuming %r from its vector only",
+                self.path,
+                state.method,
+                method,
+            )
+            state = CheckpointState(
+                method=method,
+                iteration=0,
+                n_sigma=0,
+                vector=state.vector,
+            )
+        self._count("solver.checkpoint.restores")
+        if self.telemetry:
+            self.telemetry.registry.counter("faults.recovered.checkpoint_restart").inc()
+        return state

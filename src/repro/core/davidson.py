@@ -16,6 +16,8 @@ from typing import Callable
 
 import numpy as np
 
+from .checkpoint import Checkpointer, CheckpointState
+from .guards import DEFAULT_DIVERGENCE_THRESHOLD, IterateGuard
 from .model_space import DiagonalPreconditioner
 from .olsen import SolveResult, olsen_correction
 
@@ -32,6 +34,8 @@ def davidson_solve(
     max_iterations: int = 60,
     max_subspace: int = 12,
     telemetry=None,
+    checkpoint: Checkpointer | None = None,
+    divergence_threshold: float | None = DEFAULT_DIVERGENCE_THRESHOLD,
 ) -> SolveResult:
     """Davidson iteration for the lowest eigenpair.
 
@@ -41,18 +45,36 @@ def davidson_solve(
     ``telemetry`` (a :class:`repro.obs.Telemetry`) records one
     ``solver.iterations`` sample per iteration (energy, residual norm,
     subspace size); None disables all instrumentation.
+
+    ``checkpoint`` (a :class:`Checkpointer`) saves the current Ritz vector
+    each iteration; a restart collapses the subspace to that vector (the
+    same state a ``max_subspace`` collapse would keep), so resumption costs
+    at most the usual post-collapse re-expansion.  Iterates are watched by
+    :class:`repro.core.guards.IterateGuard`.
     """
     shape = guess.shape
     v = (guess / np.linalg.norm(guess)).ravel()
-    basis: list[np.ndarray] = [v]
-    sigmas: list[np.ndarray] = []
     energies: list[float] = []
     rnorms: list[float] = []
     prev_e = np.inf
     n_sigma = 0
-    ritz = v
     e = 0.0
-    for it in range(1, max_iterations + 1):
+    start_it = 0
+    if checkpoint is not None:
+        state = checkpoint.restore("davidson")
+        if state is not None:
+            v = state.vector.ravel()
+            v = v / np.linalg.norm(v)
+            prev_e = state.meta.get("prev_e", np.inf)
+            energies = list(state.energies)
+            rnorms = list(state.residual_norms)
+            n_sigma = state.n_sigma
+            start_it = state.iteration
+    basis: list[np.ndarray] = [v]
+    sigmas: list[np.ndarray] = []
+    ritz = v
+    guard = IterateGuard(divergence_threshold, telemetry=telemetry)
+    for it in range(start_it + 1, max_iterations + 1):
         # evaluate sigma of the newest basis vector
         sigmas.append(sigma_fn(basis[-1].reshape(shape)).ravel())
         n_sigma += 1
@@ -73,6 +95,20 @@ def davidson_solve(
         rnorms.append(rnorm)
         if telemetry:
             telemetry.solver_iteration("davidson", it, e, rnorm, subspace=k)
+        guard.check(it, e, rnorm)
+        if checkpoint is not None:
+            nrm = float(np.linalg.norm(ritz))
+            checkpoint.maybe_save(
+                CheckpointState(
+                    method="davidson",
+                    iteration=it,
+                    n_sigma=n_sigma,
+                    vector=(ritz / nrm).reshape(shape) if nrm else ritz.reshape(shape),
+                    meta={"prev_e": e},
+                    energies=energies,
+                    residual_norms=rnorms,
+                )
+            )
         if abs(e - prev_e) < energy_tol and rnorm < residual_tol:
             return SolveResult(
                 energy=e,

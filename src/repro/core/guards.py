@@ -1,0 +1,91 @@
+"""Iterate guards: fail fast and loudly instead of converging to garbage.
+
+Two failure modes matter for long CI campaigns:
+
+* **non-finite iterates** - a NaN/Inf smuggled into sigma (bit-flipped
+  payload, overflow in a kernel) silently poisons every later iteration;
+  the energy and residual norm are O(1) sentinels for the whole vector, so
+  checking them each iteration is free,
+* **energy divergence** - the variational energy can only go down for exact
+  arithmetic, so an iterate whose energy rises far above the best seen so
+  far means the iteration is broken (corrupt vector, bad step), not slowly
+  converging.  The watchdog threshold is generous (many Hartree) - it only
+  exists to kill clearly-wrecked campaigns, never to second-guess normal
+  non-monotonic single-vector convergence.
+
+Detections are counted under ``faults.detected.*`` in the telemetry's
+metrics registry; combined with checkpointing, a tripped guard costs one
+restart instead of a silently wrong energy.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "IterateGuard",
+    "SolverGuardError",
+    "NonFiniteIterateError",
+    "EnergyDivergenceError",
+]
+
+DEFAULT_DIVERGENCE_THRESHOLD = 100.0  # Hartree above the best energy seen
+
+
+class SolverGuardError(RuntimeError):
+    """An iterate guard tripped; ``iteration`` is the offending iteration."""
+
+    def __init__(self, message: str, iteration: int):
+        super().__init__(message)
+        self.iteration = iteration
+
+
+class NonFiniteIterateError(SolverGuardError):
+    """NaN or Inf showed up in the iterate's energy or residual."""
+
+
+class EnergyDivergenceError(SolverGuardError):
+    """The energy rose implausibly far above the best value seen."""
+
+
+class IterateGuard:
+    """Per-solve watchdog; call :meth:`check` once per iteration.
+
+    ``divergence_threshold=None`` disables the divergence watchdog (the
+    non-finite check has no tunable and is always on).
+    """
+
+    def __init__(
+        self,
+        divergence_threshold: float | None = DEFAULT_DIVERGENCE_THRESHOLD,
+        telemetry=None,
+    ):
+        self.divergence_threshold = divergence_threshold
+        self.telemetry = telemetry
+        self._best = math.inf
+
+    def _count(self, kind: str) -> None:
+        if self.telemetry:
+            self.telemetry.registry.counter(f"faults.detected.{kind}").inc()
+
+    def check(self, iteration: int, energy: float, rnorm: float) -> None:
+        if not (math.isfinite(energy) and math.isfinite(rnorm)):
+            self._count("nonfinite_iterate")
+            raise NonFiniteIterateError(
+                f"iteration {iteration}: non-finite iterate "
+                f"(E={energy!r}, |r|={rnorm!r}) - payload corruption or overflow",
+                iteration,
+            )
+        if (
+            self.divergence_threshold is not None
+            and energy - self._best > self.divergence_threshold
+        ):
+            self._count("energy_divergence")
+            raise EnergyDivergenceError(
+                f"iteration {iteration}: energy {energy:.6f} rose "
+                f"{energy - self._best:.3f} Eh above the best seen "
+                f"({self._best:.6f}) - iteration is broken, aborting",
+                iteration,
+            )
+        if energy < self._best:
+            self._best = energy

@@ -22,6 +22,8 @@ from typing import Callable
 
 import numpy as np
 
+from .checkpoint import Checkpointer, CheckpointState
+from .guards import DEFAULT_DIVERGENCE_THRESHOLD, IterateGuard
 from .model_space import DiagonalPreconditioner
 
 __all__ = ["olsen_correction", "olsen_solve", "SolveResult"]
@@ -75,6 +77,8 @@ def olsen_solve(
     residual_tol: float = 1e-5,
     max_iterations: int = 60,
     telemetry=None,
+    checkpoint: Checkpointer | None = None,
+    divergence_threshold: float | None = DEFAULT_DIVERGENCE_THRESHOLD,
 ) -> SolveResult:
     """Single-vector Olsen iteration with fixed mixing step ``step``.
 
@@ -85,14 +89,29 @@ def olsen_solve(
 
     ``telemetry`` (a :class:`repro.obs.Telemetry`) records one
     ``solver.iterations`` sample per iteration; None disables all
-    instrumentation.
+    instrumentation.  ``checkpoint`` (a :class:`Checkpointer`) persists the
+    full restart state (C, previous energy, histories) each iteration and
+    resumes from it when present - an interrupted-plus-resumed solve
+    replays the exact iteration sequence of an uninterrupted one.  Iterates
+    are watched by :class:`repro.core.guards.IterateGuard`.
     """
     C = guess / np.linalg.norm(guess)
     energies: list[float] = []
     rnorms: list[float] = []
     prev_e = np.inf
     n_sigma = 0
-    for it in range(1, max_iterations + 1):
+    start_it = 0
+    if checkpoint is not None:
+        state = checkpoint.restore("olsen")
+        if state is not None:
+            C = state.vector.reshape(guess.shape)
+            prev_e = state.meta.get("prev_e", np.inf)
+            energies = list(state.energies)
+            rnorms = list(state.residual_norms)
+            n_sigma = state.n_sigma
+            start_it = state.iteration
+    guard = IterateGuard(divergence_threshold, telemetry=telemetry)
+    for it in range(start_it + 1, max_iterations + 1):
         sigma = sigma_fn(C)
         n_sigma += 1
         e = float(np.vdot(C, sigma))
@@ -101,6 +120,7 @@ def olsen_solve(
         rnorms.append(rnorm)
         if telemetry:
             telemetry.solver_iteration("olsen", it, e, rnorm, lam=step)
+        guard.check(it, e, rnorm)
         if abs(e - prev_e) < energy_tol and rnorm < residual_tol:
             return SolveResult(
                 energy=e,
@@ -116,6 +136,18 @@ def olsen_solve(
         t = olsen_correction(C, sigma, e, precond)
         C = C + step * t
         C /= np.linalg.norm(C)
+        if checkpoint is not None:
+            checkpoint.maybe_save(
+                CheckpointState(
+                    method="olsen",
+                    iteration=it,
+                    n_sigma=n_sigma,
+                    vector=C,
+                    meta={"prev_e": prev_e, "step": step},
+                    energies=energies,
+                    residual_norms=rnorms,
+                )
+            )
     return SolveResult(
         energy=energies[-1],
         vector=C,

@@ -21,6 +21,7 @@ from ..scf.mo import MOIntegrals, freeze_core, transform
 from ..scf.rhf import AOIntegrals, SCFResult, compute_ao_integrals, rhf
 from ..scf.rohf import rohf
 from .auto_single import auto_adjusted_solve
+from .checkpoint import Checkpointer
 from .davidson import davidson_solve
 from .model_space import DiagonalPreconditioner, ModelSpacePreconditioner
 from .olsen import SolveResult, olsen_solve
@@ -88,6 +89,12 @@ class FCISolver:
         per-sigma FLOP/byte accounting are recorded in its metrics
         registry.  The default None is a strict no-op: results are
         bitwise identical with and without telemetry.
+    checkpoint:
+        Optional checkpoint path (str/Path) or a preconfigured
+        :class:`repro.core.checkpoint.Checkpointer`.  The eigensolve then
+        persists its restart state (atomically, CRC-verified) after each
+        iteration and resumes from the file when it exists, so an
+        interrupted campaign restarts instead of starting over.
     """
 
     def __init__(
@@ -110,6 +117,7 @@ class FCISolver:
         ao_integrals: AOIntegrals | None = None,
         scf_result: SCFResult | None = None,
         telemetry=None,
+        checkpoint=None,
     ):
         if algorithm not in _ALGORITHMS:
             raise ValueError(f"algorithm must be one of {_ALGORITHMS}")
@@ -130,6 +138,10 @@ class FCISolver:
         self.residual_tol = residual_tol
         self.max_iterations = max_iterations
         self.telemetry = telemetry
+        if checkpoint is None or isinstance(checkpoint, Checkpointer):
+            self.checkpoint = checkpoint
+        else:
+            self.checkpoint = Checkpointer(checkpoint, telemetry=telemetry)
         self._ao = ao_integrals
         self._scf = scf_result
 
@@ -243,6 +255,7 @@ class FCISolver:
             residual_tol=self.residual_tol,
             max_iterations=self.max_iterations,
             telemetry=self.telemetry,
+            checkpoint=self.checkpoint,
         )
         if self.method == "davidson":
             solve = davidson_solve(sigma_fn, guess, precond, **kwargs)

@@ -1,0 +1,33 @@
+"""repro.faults: deterministic fault injection and chaos scenarios.
+
+The paper's 65-billion-determinant campaigns only succeed because the
+single-vector solver carries a tiny restart state (one CI vector) and the
+DDI/SHMEM layer tolerates contention.  This subsystem lets the simulated
+X1 *prove* the same discipline: a seeded :class:`FaultInjector` perturbs
+the discrete-event engine with rank stalls, rank death at a virtual time,
+dropped or delayed one-sided transfers, mutex-grant jitter, transient I/O
+errors, and payload corruption (NaN or bit-flip) in numeric mode, while
+:class:`ChaosConfig` composes the named scenarios the CI chaos matrix
+runs (``slow_rank``, ``dead_rank``, ``flaky_network``, ``corrupt_payload``).
+
+Every injected fault is counted under ``faults.injected.*`` and every
+recovery action (DDI retry, mutex-lease revocation, task requeue,
+checkpoint restart) under ``faults.recovered.*`` in a
+:class:`repro.obs.MetricsRegistry`, so a chaos run tells a complete,
+Perfetto-viewable story of what broke and how it healed.
+
+The subsystem only depends on :mod:`repro.obs`; the engine and DDI layers
+accept an injector duck-typed, so nothing here imports the simulator.
+"""
+
+from .injector import DEFAULT_MUTEX_LEASE, FaultInjector, FaultPlan, StallWindow
+from .scenarios import SCENARIOS, ChaosConfig
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "StallWindow",
+    "ChaosConfig",
+    "SCENARIOS",
+    "DEFAULT_MUTEX_LEASE",
+]

@@ -1,0 +1,117 @@
+"""Named chaos scenarios and their composition into one fault plan.
+
+Each scenario is a function ``(cfg) -> dict`` returning :class:`FaultPlan`
+field overrides; :class:`ChaosConfig` merges any number of them (so
+``["dead_rank", "flaky_network"]`` kills a rank *on* a lossy network).
+Scenario parameters with physical meaning - who dies (``victim``), when
+(``at`` as a fraction of the expected ``horizon`` in virtual seconds) -
+live on the config so tests and the CI chaos matrix can sweep them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..obs.metrics import MetricsRegistry
+from .injector import FaultInjector, FaultPlan, StallWindow
+
+__all__ = ["ChaosConfig", "SCENARIOS"]
+
+
+def _slow_rank(cfg: "ChaosConfig") -> dict:
+    """The victim MSP runs ``slowdown`` x slower for the whole run."""
+    return {
+        "stalls": [StallWindow(cfg.victim, 0.0, math.inf, cfg.slowdown)],
+    }
+
+
+def _dead_rank(cfg: "ChaosConfig") -> dict:
+    """Fail-stop of the victim at ``at * horizon`` virtual seconds."""
+    return {"deaths": {cfg.victim: cfg.at * cfg.horizon}}
+
+
+def _flaky_network(cfg: "ChaosConfig") -> dict:
+    """Lossy, jittery interconnect: drops, delays, and mutex-grant jitter."""
+    return {
+        "drop_get": 0.08,
+        "drop_put": 0.08,
+        "delay_prob": 0.10,
+        "delay_seconds": 20e-6,
+        "mutex_jitter": 5e-6,
+        "op_timeout": 2e-3,
+    }
+
+
+def _corrupt_payload(cfg: "ChaosConfig") -> dict:
+    """Numeric-mode NaN poisoning of remote gets (detected by solver guards)."""
+    return {"corrupt": cfg.corrupt_prob, "corrupt_mode": "nan"}
+
+
+def _bitflip_payload(cfg: "ChaosConfig") -> dict:
+    """Single-bit corruption of remote gets (the sneaky variant)."""
+    return {"corrupt": cfg.corrupt_prob, "corrupt_mode": "bitflip"}
+
+
+def _flaky_io(cfg: "ChaosConfig") -> dict:
+    """Transient shared-filesystem errors on simulated I/O ops."""
+    return {"io_error": 0.2}
+
+
+SCENARIOS: dict[str, Callable[["ChaosConfig"], dict]] = {
+    "slow_rank": _slow_rank,
+    "dead_rank": _dead_rank,
+    "flaky_network": _flaky_network,
+    "corrupt_payload": _corrupt_payload,
+    "bitflip_payload": _bitflip_payload,
+    "flaky_io": _flaky_io,
+}
+
+
+@dataclass
+class ChaosConfig:
+    """Composition of named scenarios into one seeded fault plan.
+
+    Parameters
+    ----------
+    scenarios:
+        Names from :data:`SCENARIOS`, merged left to right (later scenarios
+        override scalar fields; deaths and stalls are unioned).
+    seed:
+        Seed of the injector's random stream.
+    victim:
+        Rank targeted by ``slow_rank`` / ``dead_rank``.
+    at, horizon:
+        The victim dies at ``at * horizon`` virtual seconds; ``horizon``
+        is typically a fault-free run's elapsed time.
+    """
+
+    scenarios: list[str] = field(default_factory=list)
+    seed: int = 0
+    victim: int = 1
+    at: float = 0.5
+    horizon: float = 1.0
+    slowdown: float = 4.0
+    corrupt_prob: float = 0.05
+
+    def __post_init__(self) -> None:
+        unknown = [s for s in self.scenarios if s not in SCENARIOS]
+        if unknown:
+            raise ValueError(
+                f"unknown chaos scenario(s) {unknown}; known: {sorted(SCENARIOS)}"
+            )
+
+    def build_plan(self) -> FaultPlan:
+        deaths: dict[int, float] = {}
+        stalls: list[StallWindow] = []
+        scalars: dict = {}
+        for name in self.scenarios:
+            overrides = SCENARIOS[name](self)
+            deaths.update(overrides.pop("deaths", {}))
+            stalls.extend(overrides.pop("stalls", []))
+            scalars.update(overrides)
+        return FaultPlan(seed=self.seed, deaths=deaths, stalls=stalls, **scalars)
+
+    def injector(self, registry: MetricsRegistry | None = None) -> FaultInjector:
+        return FaultInjector(self.build_plan(), registry=registry)

@@ -22,6 +22,23 @@ Implements the paper's parallel strategy (section 3) with real arithmetic:
 The result is bit-identical (to roundoff) with the serial
 :func:`repro.core.sigma_dgemm`, which the test suite enforces for many rank
 counts.
+
+Resilient mode (``faults=`` attached, or ``resilient=True``): every phase
+becomes a *named, tagged task* published with exactly-once DDI semantics
+(commit flags written atomically with the data), and each phase ends with
+recovery rounds:
+
+    barrier -> gather commit tags (write-quiescent) -> barrier ->
+    identical uncommitted-work decision on every rank ->
+    claim via a per-round DLB counter -> recompute + tagged publish -> repeat
+
+so any single (or multiple, up to the round budget) rank death still yields
+the reference sigma: live ranks detect the dead rank via the engine's
+virtual-time heartbeat, requeue its unfinished work, and the idempotent
+accumulate guards make double delivery impossible.  NaN-poisoned gather
+payloads are detected and refetched at this layer; non-NaN bit-flips are
+the solvers' watchdog's problem.  With ``faults=None`` the original
+fault-free program runs unchanged (bit-identical schedule and result).
 """
 
 from __future__ import annotations
@@ -39,6 +56,9 @@ from ..x1.machine import X1Config
 from .taskpool import Task, build_task_pool, publish_pool_metrics
 
 __all__ = ["ParallelSigma", "ParallelReport"]
+
+_MAX_RECOVERY_ROUNDS = 4
+_PHASE_NAMES = ("beta-beta", "alpha-alpha", "alpha-beta")
 
 
 @dataclass
@@ -77,7 +97,9 @@ class ParallelSigma:
     byte accounting into its metrics registry; ``tracer`` (a
     :class:`repro.obs.tracer.SpanTracer`, defaulting to the telemetry's
     tracer) records the per-rank virtual-time timeline of every engine run.
-    Both default to off and cost nothing when off.
+    ``faults`` (a :class:`repro.faults.FaultInjector`) perturbs the engine
+    and switches on the resilient tagged-task program (override with
+    ``resilient=``).  All three default to off and cost nothing when off.
     """
 
     def __init__(
@@ -91,12 +113,16 @@ class ParallelSigma:
         n_small_per_proc: int = 4,
         telemetry=None,
         tracer=None,
+        faults=None,
+        resilient: bool | None = None,
     ):
         self.problem = problem
         self.config = config
         self.block_columns = block_columns
         self.telemetry = telemetry
         self.tracer = tracer if tracer is not None else (telemetry.tracer if telemetry else None)
+        self.faults = faults
+        self.resilient = (faults is not None) if resilient is None else bool(resilient)
         P = config.n_msps
         na, nb = problem.shape
         self.row_ranges = block_ranges(na, P)
@@ -155,8 +181,62 @@ class ParallelSigma:
                     "m": t.stop - t.start,
                 }
             )
+        # which sigma owners each mixed-spin task touches (for commit checks)
+        self._task_owners = [
+            [
+                r
+                for r, (lo, hi) in enumerate(self.row_ranges)
+                if hi > lo and lo < t.stop and hi > t.start
+            ]
+            for t in self.tasks
+        ]
 
     # -- kernels -------------------------------------------------------------
+    def _beta_beta_block(self, Cblk: np.ndarray) -> tuple[np.ndarray, float, float]:
+        """Local-phase sigma rows for one C block: one-electron beta +
+        beta-beta doubles; returns (sigma_block, model_seconds, flops)."""
+        problem = self.problem
+        cfg = self.config
+        m = Cblk.shape[0]
+        nb = problem.space_b.size
+        npair = problem.w_matrix.shape[0]
+        sig_local = np.zeros((m, nb))
+        sig_local += np.asarray(self.Tb @ Cblk.T).T
+        if problem.n_beta >= 2:
+            sig_local += _same_spin_rows(
+                problem.doubles_b,
+                problem.w_matrix,
+                np.ascontiguousarray(Cblk.T),
+                self.block_columns,
+                None,
+            ).T
+        nkb = problem.doubles_b.reduced_space.size if problem.n_beta >= 2 else 0
+        flops = 2.0 * npair * npair * nkb * m
+        t = cfg.dgemm_time(npair, max(nkb * m, 1), npair) if nkb else 0.0
+        t += cfg.gather_time(
+            2.0 * (problem.doubles_b.n_entries if problem.n_beta >= 2 else 0)
+            * m
+            / max(problem.space_b.size, 1)
+            * problem.space_b.size
+        )
+        return sig_local, t, flops
+
+    def _alpha_block(self, colC: np.ndarray, w: int) -> tuple[np.ndarray, float, float]:
+        """Alpha one-electron + alpha-alpha doubles on one transposed column
+        block; returns (X, model_seconds, flops)."""
+        problem = self.problem
+        cfg = self.config
+        npair = problem.w_matrix.shape[0]
+        X = np.asarray(self.Ta @ colC)
+        if problem.n_alpha >= 2:
+            X += _same_spin_rows(
+                problem.doubles_a, problem.w_matrix, colC, self.block_columns, None
+            )
+        nka = problem.doubles_a.reduced_space.size if problem.n_alpha >= 2 else 0
+        flops = 2.0 * npair * npair * nka * w
+        t = cfg.dgemm_time(npair, max(nka * w, 1), npair) if nka else 0.0
+        return X, t, flops
+
     def _mixed_subset(self, Csub: np.ndarray, meta: dict) -> np.ndarray:
         """Mixed-spin sigma rows for one task from gathered source rows."""
         problem = self.problem
@@ -202,59 +282,56 @@ class ParallelSigma:
             raise ValueError(f"C must have shape {(na, nb)}")
 
         heap = SymmetricHeap(P)
-        Cd = DDIArray(heap, "C", na, nb, msps_per_node=cfg.msps_per_node)
-        Sd = DDIArray(heap, "sigma", na, nb, msps_per_node=cfg.msps_per_node)
+        fi = self.faults
+        Cd = DDIArray(heap, "C", na, nb, msps_per_node=cfg.msps_per_node, faults=fi)
+        Sd = DDIArray(heap, "sigma", na, nb, msps_per_node=cfg.msps_per_node, faults=fi)
         dlb = DynamicLoadBalancer(heap)
         for r, (lo, hi) in enumerate(self.row_ranges):
             Cd.set_local(r, C[lo:hi])
         n_tasks = len(self.tasks)
-        W = problem.w_matrix
-        npair = W.shape[0]
+
+        if self.resilient:
+            program = self._resilient_program(Cd, Sd, dlb, heap)
+        else:
+            program = self._program(Cd, Sd, dlb)
+
+        engine = Engine(cfg, heap, tracer=self.tracer, faults=fi)
+        stats = engine.run([program] * P)
+        self.report.merge(stats, engine.elapsed(), engine.load_imbalance())
+        if self.telemetry:
+            run = ParallelReport()
+            run.merge(stats, engine.elapsed(), engine.load_imbalance())
+            account_parallel_report(self.telemetry.registry, run, P)
+
+        sigma = np.empty_like(C)
+        for r, (lo, hi) in enumerate(self.row_ranges):
+            if hi > lo:
+                sigma[lo:hi] = Sd.local_block(r)
+        return sigma
+
+    # -- fault-free program (the default; schedule is bit-stable) ------------
+    def _program(self, Cd: DDIArray, Sd: DDIArray, dlb: DynamicLoadBalancer):
+        n_tasks = len(self.tasks)
 
         def program(proc, _heap):
             r = proc.rank
             lo, hi = self.row_ranges[r]
             m = hi - lo
-            Cblk = Cd.local_block(r)
-            sig_local = np.zeros((m, nb))
 
             # ---- local phase: one-electron beta + beta-beta (static) ----
             if m:
-                sig_local += np.asarray(self.Tb @ Cblk.T).T
-                if problem.n_beta >= 2:
-                    sig_local += _same_spin_rows(
-                        problem.doubles_b,
-                        W,
-                        np.ascontiguousarray(Cblk.T),
-                        self.block_columns,
-                        None,
-                    ).T
-                nkb = problem.doubles_b.reduced_space.size if problem.n_beta >= 2 else 0
-                flops = 2.0 * npair * npair * nkb * m
-                t = cfg.dgemm_time(npair, max(nkb * m, 1), npair) if nkb else 0.0
-                t += cfg.gather_time(
-                    2.0 * (problem.doubles_b.n_entries if problem.n_beta >= 2 else 0)
-                    * m
-                    / max(problem.space_b.size, 1)
-                    * problem.space_b.size
-                )
+                sig_local, t, flops = self._beta_beta_block(Cd.local_block(r))
                 yield proc.compute(t, flops=flops, label="beta-beta", name="DGEMM beta-beta")
-            Sd.local_block(r)[...] = sig_local
+                Sd.local_block(r)[...] = sig_local
+            else:
+                Sd.local_block(r)[...] = 0.0
             yield proc.barrier()
 
             # ---- alpha-alpha + alpha one-electron on transposed blocks ----
             clo, chi = self.col_ranges[r]
             if chi > clo:
                 colC = yield from Cd.iget_col_block(proc, clo, chi, label="alpha-alpha")
-                X = np.asarray(self.Ta @ colC)
-                if problem.n_alpha >= 2:
-                    X += _same_spin_rows(
-                        problem.doubles_a, W, colC, self.block_columns, None
-                    )
-                nka = problem.doubles_a.reduced_space.size if problem.n_alpha >= 2 else 0
-                w = chi - clo
-                flops = 2.0 * npair * npair * nka * w
-                t = cfg.dgemm_time(npair, max(nka * w, 1), npair) if nka else 0.0
+                X, t, flops = self._alpha_block(colC, chi - clo)
                 yield proc.compute(t, flops=flops, label="alpha-alpha", name="DGEMM alpha-alpha")
                 yield from Sd.iacc_col_block(proc, clo, chi, X, label="alpha-alpha")
             yield proc.barrier()
@@ -278,16 +355,127 @@ class ParallelSigma:
                 )
             yield proc.barrier()
 
-        engine = Engine(cfg, heap, tracer=self.tracer)
-        stats = engine.run([program] * P)
-        self.report.merge(stats, engine.elapsed(), engine.load_imbalance())
-        if self.telemetry:
-            run = ParallelReport()
-            run.merge(stats, engine.elapsed(), engine.load_imbalance())
-            account_parallel_report(self.telemetry.registry, run, P)
+        return program
 
-        sigma = np.empty_like(C)
-        for r, (lo, hi) in enumerate(self.row_ranges):
+    # -- resilient program (tagged tasks + recovery rounds) -------------------
+    def _resilient_program(self, Cd: DDIArray, Sd: DDIArray, dlb: DynamicLoadBalancer, heap):
+        """Build the self-healing rank program.
+
+        Commit-tag layout on ``Sd`` (tag ``t`` lives on each owner's heap):
+        ``[0, P)`` beta-beta block publications, ``[P, 2P)`` alpha-alpha
+        column-block accumulations, ``[2P, 2P + n_tasks)`` mixed-spin tasks.
+        """
+        P = self.config.n_msps
+        fi = self.faults
+        n_tasks = len(self.tasks)
+        Sd.alloc_commit_tags(2 * P + n_tasks)
+        # claim counters for every possible recovery round, allocated up
+        # front so all ranks agree on them without communication
+        rq = {
+            (phase, rnd): DynamicLoadBalancer(heap, name=f"_rq_{phase}_{rnd}")
+            for phase in range(3)
+            for rnd in range(_MAX_RECOVERY_ROUNDS)
+        }
+        row_owners = [r for r, (lo, hi) in enumerate(self.row_ranges) if hi > lo]
+
+        def publish_beta_block(proc, owner, Cblk):
+            sig_local, t, flops = self._beta_beta_block(Cblk)
+            yield proc.compute(t, flops=flops, label="beta-beta", name="DGEMM beta-beta")
+            yield from Sd.iput_block_once(proc, owner, sig_local, tag=owner, label="beta-beta")
+
+        def redo_beta_block(proc, owner):
+            lo, hi = self.row_ranges[owner]
+            Cblk = yield from Cd.iget_rows(proc, np.arange(lo, hi), label="beta-beta:requeue")
+            yield from publish_beta_block(proc, owner, Cblk)
+
+        def do_alpha_block(proc, c, label="alpha-alpha"):
+            clo, chi = self.col_ranges[c]
+            colC = yield from Cd.iget_col_block(proc, clo, chi, label=label)
+            X, t, flops = self._alpha_block(colC, chi - clo)
+            yield proc.compute(t, flops=flops, label="alpha-alpha", name="DGEMM alpha-alpha")
+            yield from Sd.iacc_col_block_once(proc, clo, chi, X, tag=P + c, label=label)
+
+        def do_mixed_task(proc, tid, label="alpha-beta"):
+            task = self.tasks[tid]
+            meta = self._task_meta[tid]
+            Csub = yield from Cd.iget_rows(proc, meta["rows"], label=label)
+            out = self._mixed_subset(Csub, meta)
+            t, flops = self._mixed_task_time(meta)
+            yield proc.compute(t, flops=flops, label="alpha-beta", name="DGEMM alpha-beta")
+            yield from Sd.iacc_rows_once(
+                proc, np.arange(task.start, task.stop), out, tag=2 * P + tid, label=label
+            )
+
+        def uncommitted_beta(T):
+            return [r for r in row_owners if not T[r, r]]
+
+        def uncommitted_alpha(T):
+            return [
+                c
+                for c, (clo, chi) in enumerate(self.col_ranges)
+                if chi > clo and not all(T[o, P + c] for o in row_owners)
+            ]
+
+        def uncommitted_mixed(T):
+            return [
+                t
+                for t in range(n_tasks)
+                if not all(T[o, 2 * P + t] for o in self._task_owners[t])
+            ]
+
+        def recover(proc, phase, find_uncommitted, redo_one):
+            """Requeue-until-committed; every rank runs this in lockstep.
+
+            Control flow is driven *only* by the gathered commit tags (read
+            in a write-quiescent window between two barriers), so all live
+            ranks take identical decisions; the heartbeat probe is for the
+            trace and the fault counters, never for branching.
+            """
+            label = f"{_PHASE_NAMES[phase]}:recover"
+            for rnd in range(_MAX_RECOVERY_ROUNDS + 1):
+                yield proc.barrier()
+                T = yield from Sd.iget_tags(proc, label=label)
+                yield proc.barrier()
+                uncommitted = find_uncommitted(T)
+                if not uncommitted:
+                    return
+                if rnd == _MAX_RECOVERY_ROUNDS:
+                    raise RuntimeError(
+                        f"{label}: {len(uncommitted)} tasks still uncommitted "
+                        f"after {_MAX_RECOVERY_ROUNDS} recovery rounds"
+                    )
+                yield proc.failures(label=label)  # heartbeat: dead set -> trace
+                counter = rq[(phase, rnd)]
+                while True:
+                    idx = yield from counter.inext(proc, label=label)
+                    if idx >= len(uncommitted):
+                        break
+                    if fi is not None:
+                        fi.note_recovered("task_requeue")
+                    yield from redo_one(proc, uncommitted[idx])
+
+        def program(proc, _heap):
+            r = proc.rank
+            lo, hi = self.row_ranges[r]
+
+            # ---- phase 1: beta-beta, published exactly-once ----
             if hi > lo:
-                sigma[lo:hi] = Sd.local_block(r)
-        return sigma
+                yield from publish_beta_block(proc, r, Cd.local_block(r))
+            yield from recover(proc, 0, uncommitted_beta, redo_beta_block)
+
+            # ---- phase 2: alpha-alpha column blocks ----
+            clo, chi = self.col_ranges[r]
+            if chi > clo:
+                yield from do_alpha_block(proc, r)
+            yield from recover(proc, 1, uncommitted_alpha, do_alpha_block)
+
+            # ---- phase 3: mixed-spin dynamic task pool ----
+            while True:
+                tid = yield from dlb.inext(proc, label="alpha-beta")
+                if tid >= n_tasks:
+                    break
+                yield from do_mixed_task(proc, tid)
+            yield from recover(proc, 2, uncommitted_mixed, do_mixed_task)
+            yield proc.barrier()
+
+        return program

@@ -39,7 +39,27 @@ class Task:
 
 
 def _split_even_cost(costs: np.ndarray, n_pieces: int) -> list[tuple[int, int]]:
-    """Split range(len(costs)) into n_pieces contiguous spans of ~equal cost."""
+    """Split range(len(costs)) into n_pieces contiguous spans of ~equal cost.
+
+    Costs must be finite and non-negative: a negative cost would make the
+    cumulative-sum non-monotone (silently mis-sorting the cut points) and a
+    NaN poisons every span boundary, so both are rejected up front with the
+    offending work unit named.
+    """
+    bad = ~np.isfinite(costs)
+    if bad.any():
+        unit = int(np.flatnonzero(bad)[0])
+        raise ValueError(
+            f"work unit {unit} has non-finite cost {costs[unit]!r}; "
+            "unit costs must be finite"
+        )
+    negative = costs < 0
+    if negative.any():
+        unit = int(np.flatnonzero(negative)[0])
+        raise ValueError(
+            f"work unit {unit} has negative cost {costs[unit]!r}; "
+            "unit costs must be >= 0"
+        )
     total = float(costs.sum())
     if total <= 0:
         # degenerate: equal-count split

@@ -40,7 +40,7 @@ from ..core.strings import count_strings_by_irrep
 from ..molecule.symmetry import PointGroup
 from ..obs.accounting import account_trace_result
 from ..x1.ddi import DynamicLoadBalancer, block_ranges
-from ..x1.engine import Engine, SymmetricHeap
+from ..x1.engine import DROPPED, Engine, SymmetricHeap
 from ..x1.machine import X1Config
 from .taskpool import Task, build_task_pool, publish_pool_metrics
 
@@ -233,6 +233,7 @@ class TraceFCI:
         units_per_pool: int | None = None,
         telemetry=None,
         tracer=None,
+        faults=None,
     ):
         if algorithm not in ("dgemm", "moc"):
             raise ValueError("algorithm must be 'dgemm' or 'moc'")
@@ -240,6 +241,7 @@ class TraceFCI:
         self.config = config
         self.algorithm = algorithm
         self.telemetry = telemetry
+        self.faults = faults
         self.tracer = tracer if tracer is not None else (telemetry.tracer if telemetry else None)
         self.mixed_flop_factor = mixed_flop_factor
         self.samespin_flop_factor = samespin_flop_factor
@@ -487,9 +489,20 @@ class TraceFCI:
             yield proc.barrier()
 
             # ---- restart I/O (shared filesystem, serialized) ----
-            yield proc.io(self.io_bytes / P, write=True, label="disk-io")
+            fi = self.faults
+            retries = fi.max_retries if fi is not None else 1
+            for attempt in range(retries):
+                res = yield proc.io(self.io_bytes / P, write=True, label="disk-io")
+                if res is not DROPPED:
+                    if fi is not None and attempt:
+                        fi.note_recovered("retried_io", attempt)
+                    break
+            else:
+                raise RuntimeError(
+                    f"rank {r}: restart write failed after {retries} attempts"
+                )
 
-        engine = Engine(cfg, heap, tracer=self.tracer)
+        engine = Engine(cfg, heap, tracer=self.tracer, faults=self.faults)
         stats = engine.run([program] * P)
         phase: dict[str, float] = {}
         for s in stats:

@@ -1,17 +1,19 @@
 """Simulated Cray-X1: machine model, discrete-event engine, SHMEM/DDI."""
 
 from .machine import X1Config
-from .engine import Engine, Op, Proc, RankStats, SymmetricHeap
-from .ddi import DDIArray, DynamicLoadBalancer, block_ranges
+from .engine import DROPPED, Engine, Op, Proc, RankStats, SymmetricHeap
+from .ddi import DDIArray, DDICommError, DynamicLoadBalancer, block_ranges
 
 __all__ = [
     "X1Config",
+    "DROPPED",
     "Engine",
     "Op",
     "Proc",
     "RankStats",
     "SymmetricHeap",
     "DDIArray",
+    "DDICommError",
     "DynamicLoadBalancer",
     "block_ranges",
 ]

@@ -15,19 +15,29 @@ plus the dynamic-load-balancing counter served by SHMEM atomic fetch-add
 (paper: SHMEM_SWAP).
 
 All methods are generators intended for ``yield from`` inside rank programs.
+
+Robustness: when a :class:`repro.faults.FaultInjector` is attached, the
+engine may resolve a one-sided op to :data:`DROPPED`; every get/put here
+then retries with exponential backoff (charged to the virtual clock as
+``*:retry`` compute, counted under ``faults.recovered.retried_*``) up to the
+plan's retry budget before raising :class:`DDICommError`.  Retries inside
+the DDI_ACC protocol are safe because the node mutex is held throughout.
+The ``*_once`` variants add a per-tag commit flag written *atomically* with
+the data (one multi-segment put), making accumulation idempotent: a task
+requeued after its owner died mid-protocol lands exactly once.
 """
 
 from __future__ import annotations
 
-import itertools
-
 import numpy as np
 
-from .engine import Proc, SymmetricHeap
+from .engine import DROPPED, Proc, SymmetricHeap
 
-__all__ = ["DDIArray", "DynamicLoadBalancer", "block_ranges"]
+__all__ = ["DDIArray", "DynamicLoadBalancer", "DDICommError", "block_ranges"]
 
-_mutex_ids = itertools.count(1000)
+
+class DDICommError(RuntimeError):
+    """A one-sided op kept failing after the full retry budget."""
 
 
 def block_ranges(n_items: int, n_blocks: int) -> list[tuple[int, int]]:
@@ -54,6 +64,7 @@ class DDIArray:
         *,
         numeric: bool = True,
         msps_per_node: int = 4,
+        faults=None,
     ):
         self.heap = heap
         self.name = name
@@ -61,6 +72,7 @@ class DDIArray:
         self.n_rows = int(n_rows)
         self.n_cols = int(n_cols)
         self.numeric = numeric
+        self.faults = faults
         self.ranges = block_ranges(self.n_rows, heap.n_ranks)
         self._row_owner = np.empty(self.n_rows, dtype=np.int64)
         for r, (lo, hi) in enumerate(self.ranges):
@@ -70,8 +82,11 @@ class DDIArray:
             [(hi - lo, self.n_cols) for lo, hi in self.ranges],
             numeric=numeric,
         )
-        # one mutex per *node* (paper: DDI_ACC locks the remote node)
-        self._mutex_base = next(_mutex_ids) * 10000
+        # one mutex per *node* (paper: DDI_ACC locks the remote node);
+        # the id block is heap-unique so two simulations never collide.
+        self._mutex_base = heap.next_mutex_base()
+        self.tags_name: str | None = None
+        self.n_tags = 0
 
     # -- local access -------------------------------------------------------
     def local_block(self, rank: int) -> np.ndarray | None:
@@ -82,6 +97,9 @@ class DDIArray:
 
     def owner_of(self, row: int) -> int:
         return int(self._row_owner[row])
+
+    def node_mutex(self, owner: int) -> int:
+        return self._mutex_base + owner // self.msps_per_node
 
     def set_local(self, rank: int, data: np.ndarray) -> None:
         blk = self.local_block(rank)
@@ -102,6 +120,52 @@ class DDIArray:
                 groups.append((r, rows_sorted[lo:hi], order[lo:hi]))
         return groups
 
+    # -- retry machinery ----------------------------------------------------
+    def _payload_bad(self, result, kind: str) -> bool:
+        """NaN-poisoned get payloads are detectable corruption: refetch.
+
+        Only consulted with an injector attached, so the fault-free path
+        never pays the finiteness scan.  (Bit-flips that stay finite are
+        invisible here by design - catching those is the solvers' watchdog's
+        job, same as on real hardware.)
+        """
+        if kind != "get" or not isinstance(result, np.ndarray):
+            return False
+        if np.isfinite(result).all():
+            return False
+        self.faults.note_recovered("refetched_corrupt")
+        return True
+
+    def _reliable(self, proc: Proc, op_factory, kind: str, label: str):
+        """Issue ``op_factory()`` until it succeeds (generator).
+
+        With no injector attached a drop is impossible, so the fault-free
+        path costs one identity check per op.  Each retry backs off
+        exponentially in virtual time (visible in the trace as ``*:retry``
+        compute) and is counted under ``faults.recovered.retried_<kind>``;
+        NaN-corrupted get payloads are refetched on the same budget.
+        """
+        result = yield op_factory()
+        fi = self.faults
+        if result is not DROPPED and (fi is None or not self._payload_bad(result, kind)):
+            return result
+        attempts = 0
+        while True:
+            attempts += 1
+            if fi is None or attempts > fi.max_retries:
+                raise DDICommError(
+                    f"{kind} on {self.name!r} still failing after {attempts - 1} retries"
+                )
+            backoff = fi.retry_backoff * (2.0 ** (attempts - 1))
+            yield proc.compute(backoff, label=f"{label}:retry")
+            result = yield op_factory()
+            if result is DROPPED:
+                continue
+            if not self._payload_bad(result, kind):
+                break
+        fi.note_recovered(f"retried_{kind}", attempts)
+        return result
+
     # -- one-sided operations (generators; use with ``yield from``) ---------
     def iget_rows(self, proc: Proc, rows, label: str = "gather"):
         """DDI_GET of a row list; returns (len(rows), n_cols) in numeric mode."""
@@ -112,12 +176,12 @@ class DDIArray:
             lo = self.ranges[owner][0]
             local = grp_rows - lo
             nbytes = local.size * self.n_cols * 8.0
-            data = yield proc.get(
-                owner,
-                self.name,
-                key=(local, slice(None)) if self.numeric else None,
-                n_bytes=nbytes,
-                label=label,
+            key = (local, slice(None)) if self.numeric else None
+            data = yield from self._reliable(
+                proc,
+                lambda: proc.get(owner, self.name, key=key, n_bytes=nbytes, label=label),
+                "get",
+                label,
             )
             if out is not None:
                 out[positions] = data
@@ -134,12 +198,12 @@ class DDIArray:
             if hi <= lo:
                 continue
             nbytes = (hi - lo) * width * 8.0
-            data = yield proc.get(
-                owner,
-                self.name,
-                key=(slice(None), slice(col_lo, col_hi)) if self.numeric else None,
-                n_bytes=nbytes,
-                label=label,
+            key = (slice(None), slice(col_lo, col_hi)) if self.numeric else None
+            data = yield from self._reliable(
+                proc,
+                lambda: proc.get(owner, self.name, key=key, n_bytes=nbytes, label=label),
+                "get",
+                label,
             )
             if out is not None:
                 out[lo:hi] = data
@@ -154,12 +218,22 @@ class DDIArray:
             if hi <= lo:
                 continue
             nbytes = (hi - lo) * width * 8.0
-            mutex = self._mutex_base + owner // self.msps_per_node
+            mutex = self.node_mutex(owner)
             key = (slice(None), slice(col_lo, col_hi)) if self.numeric else None
             yield proc.lock(mutex, label=label)
-            remote = yield proc.get(owner, self.name, key=key, n_bytes=nbytes, label=label)
+            remote = yield from self._reliable(
+                proc,
+                lambda: proc.get(owner, self.name, key=key, n_bytes=nbytes, label=label),
+                "get",
+                label,
+            )
             updated = remote + data[lo:hi] if self.numeric and data is not None else None
-            yield proc.put(owner, self.name, key=key, value=updated, n_bytes=nbytes, label=label)
+            yield from self._reliable(
+                proc,
+                lambda: proc.put(owner, self.name, key=key, value=updated, n_bytes=nbytes, label=label),
+                "put",
+                label,
+            )
             yield proc.quiet(label=label)
             yield proc.unlock(mutex, label=label)
         yield proc.span_end()
@@ -172,30 +246,208 @@ class DDIArray:
             lo = self.ranges[owner][0]
             local = grp_rows - lo
             nbytes = local.size * self.n_cols * 8.0
-            mutex = self._mutex_base + owner // self.msps_per_node
+            mutex = self.node_mutex(owner)
+            key = (local, slice(None)) if self.numeric else None
             yield proc.lock(mutex, label=label)
-            remote = yield proc.get(
-                owner,
-                self.name,
-                key=(local, slice(None)) if self.numeric else None,
-                n_bytes=nbytes,
-                label=label,
+            remote = yield from self._reliable(
+                proc,
+                lambda: proc.get(owner, self.name, key=key, n_bytes=nbytes, label=label),
+                "get",
+                label,
             )
             if self.numeric and data is not None:
                 updated = remote + data[positions]
             else:
                 updated = None
-            yield proc.put(
-                owner,
-                self.name,
-                key=(local, slice(None)) if self.numeric else None,
-                value=updated,
-                n_bytes=nbytes,
-                label=label,
+            yield from self._reliable(
+                proc,
+                lambda: proc.put(owner, self.name, key=key, value=updated, n_bytes=nbytes, label=label),
+                "put",
+                label,
             )
             yield proc.quiet(label=label)
             yield proc.unlock(mutex, label=label)
         yield proc.span_end()
+
+    # -- idempotent (exactly-once) accumulation -----------------------------
+    def alloc_commit_tags(self, n_tags: int) -> None:
+        """Allocate per-(tag, owner) commit flags on every rank's heap.
+
+        Tag ``t`` for owner ``o`` lives at ``o``'s segment index ``t``; it is
+        written atomically *with* the accumulated data (one multi-segment
+        put under the node mutex), so a commit either fully happened or not
+        at all - the invariant behind exactly-once task requeue.
+        """
+        self.tags_name = f"{self.name}::tags"
+        self.n_tags = int(n_tags)
+        self.heap.alloc(self.tags_name, (max(1, self.n_tags),), dtype=np.float64)
+
+    def _require_tags(self) -> str:
+        if self.tags_name is None:
+            raise RuntimeError("call alloc_commit_tags() before *_once operations")
+        return self.tags_name
+
+    def _reliable_tags(self, proc: Proc, op_factory, label: str):
+        """Reliable get of commit flags, refetching implausible values.
+
+        A stored flag is exactly 0.0 or 1.0; any other value (a bit-flipped
+        read) must not drive a commit decision - acting on a corrupted flag
+        read is how double accumulation sneaks in.
+        """
+        fi = self.faults
+        attempts = 0
+        while True:
+            raw = yield from self._reliable(proc, op_factory, "get", label)
+            if fi is None or np.isin(raw, (0.0, 1.0)).all():
+                return raw
+            fi.note_recovered("refetched_corrupt")
+            attempts += 1
+            if attempts > fi.max_retries:
+                raise DDICommError(
+                    f"commit tags of {self.name!r} unreadable after {attempts - 1} refetches"
+                )
+            yield proc.compute(fi.retry_backoff, label=f"{label}:retry")
+
+    def iread_tag(self, proc: Proc, owner: int, tag: int, label: str = "commit-tag"):
+        """Read one commit flag from ``owner`` (reliable; generator)."""
+        tags = self._require_tags()
+        raw = yield from self._reliable_tags(
+            proc,
+            lambda: proc.get(owner, tags, key=slice(tag, tag + 1), n_bytes=8.0, label=label),
+            label,
+        )
+        return bool(raw[0] != 0.0)
+
+    def iget_tags(self, proc: Proc, owners=None, label: str = "commit-tags"):
+        """Gather all commit flags from ``owners`` (default: every rank).
+
+        Returns an (n_owners, n_tags) boolean array in owner order.  Only
+        meaningful in a write-quiescent window (between barriers) - callers
+        use it to compute an identical uncommitted-work list on every rank.
+        """
+        tags = self._require_tags()
+        owners = list(range(self.heap.n_ranks)) if owners is None else list(owners)
+        out = np.zeros((len(owners), max(1, self.n_tags)), dtype=bool)
+        yield proc.span_begin("DDI_GET", label=label)
+        for i, owner in enumerate(owners):
+            raw = yield from self._reliable_tags(
+                proc,
+                lambda: proc.get(owner, tags, key=slice(None), n_bytes=8.0 * max(1, self.n_tags), label=label),
+                label,
+            )
+            out[i] = raw != 0.0
+        yield proc.span_end()
+        return out
+
+    def iacc_rows_once(self, proc: Proc, rows, data, tag: int, label: str = "accumulate"):
+        """Exactly-once DDI_ACC: skip owners whose commit flag for ``tag``
+        is already set; otherwise add and publish data+flag atomically."""
+        tags = self._require_tags()
+        rows = np.asarray(rows, dtype=np.int64)
+        yield proc.span_begin("DDI_ACC", label=label)
+        for owner, grp_rows, positions in self._group_by_owner(rows):
+            lo = self.ranges[owner][0]
+            local = grp_rows - lo
+            nbytes = local.size * self.n_cols * 8.0
+            mutex = self.node_mutex(owner)
+            key = (local, slice(None)) if self.numeric else None
+            yield proc.lock(mutex, label=label)
+            committed = yield from self.iread_tag(proc, owner, tag, label=label)
+            if committed:
+                if self.faults is not None:
+                    self.faults.note_recovered("acc_dedup")
+                yield proc.unlock(mutex, label=label)
+                continue
+            remote = yield from self._reliable(
+                proc,
+                lambda: proc.get(owner, self.name, key=key, n_bytes=nbytes, label=label),
+                "get",
+                label,
+            )
+            if self.numeric and data is not None:
+                updated = remote + data[positions]
+            else:
+                updated = None
+            writes = [(self.name, key, updated), (tags, slice(tag, tag + 1), 1.0)]
+            yield from self._reliable(
+                proc,
+                lambda: proc.putm(owner, writes, n_bytes=nbytes + 8.0, label=label),
+                "put",
+                label,
+            )
+            yield proc.quiet(label=label)
+            yield proc.unlock(mutex, label=label)
+        yield proc.span_end()
+
+    def iacc_col_block_once(
+        self, proc: Proc, col_lo: int, col_hi: int, data, tag: int, label: str = "accumulate"
+    ):
+        """Exactly-once DDI_ACC of a full column block (tag per owner)."""
+        tags = self._require_tags()
+        width = col_hi - col_lo
+        yield proc.span_begin("DDI_ACC", label=label)
+        for owner, (lo, hi) in enumerate(self.ranges):
+            if hi <= lo:
+                continue
+            nbytes = (hi - lo) * width * 8.0
+            mutex = self.node_mutex(owner)
+            key = (slice(None), slice(col_lo, col_hi)) if self.numeric else None
+            yield proc.lock(mutex, label=label)
+            committed = yield from self.iread_tag(proc, owner, tag, label=label)
+            if committed:
+                if self.faults is not None:
+                    self.faults.note_recovered("acc_dedup")
+                yield proc.unlock(mutex, label=label)
+                continue
+            remote = yield from self._reliable(
+                proc,
+                lambda: proc.get(owner, self.name, key=key, n_bytes=nbytes, label=label),
+                "get",
+                label,
+            )
+            updated = remote + data[lo:hi] if self.numeric and data is not None else None
+            writes = [(self.name, key, updated), (tags, slice(tag, tag + 1), 1.0)]
+            yield from self._reliable(
+                proc,
+                lambda: proc.putm(owner, writes, n_bytes=nbytes + 8.0, label=label),
+                "put",
+                label,
+            )
+            yield proc.quiet(label=label)
+            yield proc.unlock(mutex, label=label)
+        yield proc.span_end()
+
+    def iput_block_once(self, proc: Proc, owner: int, value, tag: int, label: str = "publish"):
+        """Exactly-once *overwrite* of ``owner``'s whole local block.
+
+        Used when the value is recomputable and idempotent by construction
+        (e.g. a rank's beta-beta sigma block): any rank can publish the
+        block on the owner's behalf, and the atomic data+flag put means a
+        half-dead publisher never leaves a flag without its data.
+        """
+        tags = self._require_tags()
+        lo, hi = self.ranges[owner]
+        nbytes = (hi - lo) * self.n_cols * 8.0
+        mutex = self.node_mutex(owner)
+        yield proc.lock(mutex, label=label)
+        committed = yield from self.iread_tag(proc, owner, tag, label=label)
+        if committed:
+            if self.faults is not None:
+                self.faults.note_recovered("acc_dedup")
+            yield proc.unlock(mutex, label=label)
+            return
+        writes = [
+            (self.name, None, value if self.numeric else None),
+            (tags, slice(tag, tag + 1), 1.0),
+        ]
+        yield from self._reliable(
+            proc,
+            lambda: proc.putm(owner, writes, n_bytes=nbytes + 8.0, label=label),
+            "put",
+            label,
+        )
+        yield proc.quiet(label=label)
+        yield proc.unlock(mutex, label=label)
 
 
 class DynamicLoadBalancer:
@@ -204,13 +456,12 @@ class DynamicLoadBalancer:
     The counter lives on rank 0 and is advanced with the engine's atomic
     fetch-add, which serializes competing requests at rank 0's memory port -
     reproducing the contention behaviour of the SHMEM_SWAP-based DDI
-    implementation.
+    implementation.  The fetch-add is never dropped by fault injection
+    (SHMEM atomics are reliable), so the counter needs no retry path.
     """
 
-    _ids = itertools.count()
-
     def __init__(self, heap: SymmetricHeap, name: str | None = None):
-        self.name = name or f"_dlb_{next(self._ids)}"
+        self.name = name or heap.unique_name("_dlb_")
         heap.alloc(self.name, (1,), dtype=np.int64, numeric=True)
         self.heap = heap
 

@@ -1,0 +1,231 @@
+"""Checkpoint/restart and solver-guard tests.
+
+The paper's single-vector methods exist so that a multi-week calculation
+can survive on one stored CI vector.  The contract here:
+
+* a checkpoint round-trips its full restart state bit-for-bit,
+* corruption is detected (CRC) and degrades to a fresh start, never to a
+  silently wrong resume,
+* a solve killed mid-run and restarted from its checkpoint replays the
+  exact iteration sequence (olsen/auto) or costs at most one extra
+  iteration (davidson, which restarts from the collapsed Ritz vector),
+* iterate guards catch NaN/Inf sigmas and runaway energies instead of
+  letting them converge to garbage.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Checkpointer,
+    CheckpointError,
+    CheckpointState,
+    CIProblem,
+    EnergyDivergenceError,
+    FCISolver,
+    IterateGuard,
+    ModelSpacePreconditioner,
+    NonFiniteIterateError,
+    auto_adjusted_solve,
+    davidson_solve,
+    olsen_solve,
+    sigma_dgemm,
+)
+from repro.obs import Telemetry
+
+from tests.conftest import make_random_mo
+
+
+@pytest.fixture(scope="module")
+def ci():
+    mo = make_random_mo(6, seed=31)
+    mo.h += np.diag(np.linspace(-3, 2, 6)) * 2
+    problem = CIProblem(mo, 3, 3)
+    precond = ModelSpacePreconditioner(problem, 50)
+    return problem, precond, precond.ground_state_guess()
+
+
+def _state(vec, it=3):
+    return CheckpointState(
+        method="auto",
+        iteration=it,
+        n_sigma=it,
+        vector=vec,
+        meta={"lambda": 0.8, "prev": {"energy": -1.5, "s2": 0.9}},
+        energies=[-1.0, -1.4, -1.5],
+        residual_norms=[0.5, 0.1, 0.02],
+    )
+
+
+class TestCheckpointer:
+    def test_round_trip_bitwise(self, tmp_path):
+        cp = Checkpointer(tmp_path / "ck.npz")
+        vec = np.random.default_rng(0).standard_normal((20, 20))
+        cp.save(_state(vec))
+        state = cp.load()
+        assert state.method == "auto"
+        assert state.iteration == 3
+        assert state.n_sigma == 3
+        assert np.array_equal(state.vector, vec)  # bitwise
+        assert state.meta["lambda"] == 0.8
+        assert state.meta["prev"]["energy"] == -1.5
+        assert state.energies == [-1.0, -1.4, -1.5]
+        assert state.residual_norms == [0.5, 0.1, 0.02]
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert Checkpointer(tmp_path / "nope.npz").load() is None
+
+    def test_exists_and_clear(self, tmp_path):
+        cp = Checkpointer(tmp_path / "ck.npz")
+        assert not cp.exists()
+        cp.save(_state(np.ones(4)))
+        assert cp.exists()
+        cp.clear()
+        assert not cp.exists()
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        cp = Checkpointer(tmp_path / "ck.npz")
+        cp.save(_state(np.ones(4)))
+        leftovers = [f for f in os.listdir(tmp_path) if f != "ck.npz"]
+        assert leftovers == []
+
+    def test_every_skips_iterations(self, tmp_path):
+        cp = Checkpointer(tmp_path / "ck.npz", every=5)
+        assert not cp.maybe_save(_state(np.ones(4), it=3))
+        assert not cp.exists()
+        assert cp.maybe_save(_state(np.ones(4), it=5))
+        assert cp.exists()
+
+    def test_corruption_detected(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        cp = Checkpointer(path, telemetry=Telemetry())
+        cp.save(_state(np.arange(16.0)))
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError):
+            cp.load()
+        # restore degrades to a fresh start instead of raising
+        assert cp.restore("auto") is None
+        assert cp.telemetry.registry.get("solver.checkpoint.rejected").value == 1.0
+
+    def test_method_mismatch_keeps_vector_only(self, tmp_path):
+        cp = Checkpointer(tmp_path / "ck.npz")
+        vec = np.arange(9.0).reshape(3, 3)
+        cp.save(_state(vec))
+        state = cp.restore("davidson")
+        assert np.array_equal(state.vector, vec)
+        assert state.iteration == 0  # restart the iteration count
+        assert state.energies == []
+
+    def test_restore_counts(self, tmp_path):
+        cp = Checkpointer(tmp_path / "ck.npz", telemetry=Telemetry())
+        cp.save(_state(np.ones(4)))
+        assert cp.restore("auto") is not None
+        reg = cp.telemetry.registry
+        assert reg.get("solver.checkpoint.saves").value == 1.0
+        assert reg.get("solver.checkpoint.restores").value == 1.0
+
+
+class _Killed(Exception):
+    pass
+
+
+class TestKillAndRestart:
+    @pytest.mark.parametrize(
+        "name,solve,kw",
+        [
+            ("olsen", olsen_solve, dict(step=0.7, max_iterations=250)),
+            ("auto", auto_adjusted_solve, {}),
+            ("davidson", davidson_solve, {}),
+        ],
+    )
+    def test_resume_matches_uninterrupted(self, ci, tmp_path, name, solve, kw):
+        problem, precond, guess = ci
+
+        def sig(C):
+            return sigma_dgemm(problem, C)
+
+        ref = solve(sig, guess, precond, **kw)
+        assert ref.converged
+
+        path = tmp_path / f"{name}.npz"
+        kill_at = max(2, ref.n_iterations // 2)
+        calls = [0]
+
+        def sig_killing(C):
+            calls[0] += 1
+            if calls[0] > kill_at:
+                raise _Killed
+            return sigma_dgemm(problem, C)
+
+        with pytest.raises(_Killed):
+            solve(sig_killing, guess, precond, checkpoint=Checkpointer(path), **kw)
+
+        res = solve(sig, guess, precond, checkpoint=Checkpointer(path), **kw)
+        assert res.converged
+        assert abs(res.energy - ref.energy) < 1e-10
+        # at most one extra iteration total, despite the mid-run kill
+        assert res.n_iterations <= ref.n_iterations + 1
+        if name in ("olsen", "auto"):
+            # single-vector methods replay the exact iteration sequence
+            assert res.energies == ref.energies
+            assert res.n_iterations == ref.n_iterations
+
+
+class TestFCISolverIntegration:
+    def test_checkpoint_path_roundtrip(self, h2, tmp_path):
+        path = tmp_path / "h2.npz"
+        first = FCISolver(h2, checkpoint=path).run()
+        assert path.exists()
+        tele = Telemetry()
+        solver = FCISolver(h2, checkpoint=Checkpointer(path, telemetry=tele))
+        second = solver.run()
+        assert abs(second.energy - first.energy) < 1e-10
+        assert tele.registry.get("solver.checkpoint.restores").value == 1.0
+
+
+class TestGuards:
+    def test_nan_sigma_raises(self, ci):
+        problem, precond, guess = ci
+
+        def sig_nan(C):
+            out = sigma_dgemm(problem, C)
+            out.flat[0] = np.nan
+            return out
+
+        with pytest.raises(NonFiniteIterateError):
+            auto_adjusted_solve(sig_nan, guess, precond)
+
+    def test_energy_divergence_raises(self):
+        guard = IterateGuard(divergence_threshold=10.0)
+        guard.check(1, -5.0, 0.1)
+        guard.check(2, -4.0, 0.1)  # small wobble is fine
+        with pytest.raises(EnergyDivergenceError) as e:
+            guard.check(3, 200.0, 0.1)
+        assert e.value.iteration == 3
+
+    def test_guard_counts_detections(self):
+        tele = Telemetry()
+        guard = IterateGuard(telemetry=tele)
+        with pytest.raises(NonFiniteIterateError):
+            guard.check(1, float("nan"), 0.1)
+        assert tele.registry.get("faults.detected.nonfinite_iterate").value == 1.0
+
+    def test_divergence_check_disabled(self):
+        guard = IterateGuard(divergence_threshold=None)
+        guard.check(1, -5.0, 0.1)
+        guard.check(2, 1e6, 0.1)  # no watchdog when disabled
+
+    def test_lambda_fallback_counted(self, ci):
+        from repro.core.auto_single import _optimal_step
+
+        reasons = []
+        lam = _optimal_step(np.nan, 0.1, 0.1, 1.0, reasons.append)
+        assert lam == 1.0
+        assert reasons == ["non_finite_2x2"]
+        lam = _optimal_step(-1.0, 0.1, -2.0, 0.0, reasons.append)
+        assert lam == 1.0
+        assert reasons[-1] == "non_finite_2x2"

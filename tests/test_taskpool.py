@@ -97,3 +97,32 @@ class TestStatistics:
         tasks = build_task_pool(costs, 8, n_small_per_proc=6)
         stats = pool_statistics(tasks)
         assert stats["tail_cost"] <= stats["total_cost"] / 8
+
+
+class TestCostValidation:
+    def test_nan_cost_rejected_naming_unit(self):
+        costs = np.ones(50)
+        costs[17] = np.nan
+        with pytest.raises(ValueError, match="unit 17.*non-finite"):
+            build_task_pool(costs, 4)
+
+    def test_inf_cost_rejected(self):
+        costs = np.ones(50)
+        costs[3] = np.inf
+        with pytest.raises(ValueError, match="unit 3"):
+            build_task_pool(costs, 4)
+
+    def test_negative_cost_rejected_naming_unit(self):
+        costs = np.ones(50)
+        costs[42] = -2.0
+        with pytest.raises(ValueError, match="unit 42.*negative"):
+            build_task_pool(costs, 4)
+
+    def test_zero_cost_allowed(self):
+        costs = np.ones(50)
+        costs[10] = 0.0
+        tasks = build_task_pool(costs, 4)
+        covered = np.zeros(50, dtype=int)
+        for t in tasks:
+            covered[t.start : t.stop] += 1
+        assert np.all(covered == 1)

@@ -14,6 +14,15 @@ from .hamiltonian import (
     hamiltonian_diagonal,
 )
 from .problem import CIProblem
+from .plans import SigmaPlan, build_g_matrix, build_w_matrix
+from .kernels import (
+    DgemmKernel,
+    MocKernel,
+    SigmaKernel,
+    kernel_names,
+    make_kernel,
+)
+from .operator import HamiltonianOperator
 from .sigma_dgemm import SigmaCounters, one_electron_operators, sigma_dgemm
 from .sigma_moc import MOCCounters, sigma_moc
 from .model_space import DiagonalPreconditioner, ModelSpacePreconditioner
@@ -47,6 +56,15 @@ __all__ = [
     "det_matrix_element",
     "hamiltonian_diagonal",
     "CIProblem",
+    "SigmaPlan",
+    "build_w_matrix",
+    "build_g_matrix",
+    "SigmaKernel",
+    "DgemmKernel",
+    "MocKernel",
+    "kernel_names",
+    "make_kernel",
+    "HamiltonianOperator",
     "SigmaCounters",
     "one_electron_operators",
     "sigma_dgemm",

@@ -23,8 +23,6 @@ Only C, sigma and scratch the size of one CI vector are alive at any time.
 
 from __future__ import annotations
 
-from typing import Callable
-
 import numpy as np
 import scipy.linalg
 
@@ -32,6 +30,7 @@ from .checkpoint import Checkpointer, CheckpointState
 from .guards import DEFAULT_DIVERGENCE_THRESHOLD, IterateGuard
 from .model_space import DiagonalPreconditioner
 from .olsen import SolveResult, olsen_correction
+from .operator import SigmaFn
 
 __all__ = ["auto_adjusted_solve"]
 
@@ -71,7 +70,7 @@ def _optimal_step(
 
 
 def auto_adjusted_solve(
-    sigma_fn: Callable[[np.ndarray], np.ndarray],
+    sigma_fn: SigmaFn,
     guess: np.ndarray,
     precond: DiagonalPreconditioner,
     *,

@@ -12,20 +12,19 @@ vectors (the memory cost the paper's single-vector method eliminates).
 
 from __future__ import annotations
 
-from typing import Callable
-
 import numpy as np
 
 from .checkpoint import Checkpointer, CheckpointState
 from .guards import DEFAULT_DIVERGENCE_THRESHOLD, IterateGuard
 from .model_space import DiagonalPreconditioner
 from .olsen import SolveResult, olsen_correction
+from .operator import SigmaFn
 
 __all__ = ["davidson_solve"]
 
 
 def davidson_solve(
-    sigma_fn: Callable[[np.ndarray], np.ndarray],
+    sigma_fn: SigmaFn,
     guess: np.ndarray,
     precond: DiagonalPreconditioner,
     *,
@@ -38,6 +37,10 @@ def davidson_solve(
     divergence_threshold: float | None = DEFAULT_DIVERGENCE_THRESHOLD,
 ) -> SolveResult:
     """Davidson iteration for the lowest eigenpair.
+
+    ``sigma_fn`` is any sigma callable - typically a
+    :class:`repro.core.operator.HamiltonianOperator`, which brings plan
+    reuse, kernel counters, and telemetry accounting with it.
 
     Counts one "iteration" per sigma evaluation so iteration numbers are
     directly comparable with the single-vector methods (paper Table 2).

@@ -4,6 +4,13 @@ Extension beyond the paper (which targets the lowest root only): a blocked
 subspace iteration returning the k lowest eigenstates - used to resolve
 excited states and spin gaps, e.g. the CN+ singlet-triplet splitting that
 makes the paper's Table-2 system so hard for single-vector solvers.
+
+``sigma_fn`` may be any callable; when it is a
+:class:`repro.core.operator.HamiltonianOperator` (anything exposing
+``apply_batch``) the block's outstanding sigma vectors are evaluated in one
+*batched* kernel sweep per iteration - the mixed-spin and same-spin DGEMMs
+run once with k-times-wider right-hand sides instead of k separate sweeps,
+with bitwise-identical results.
 """
 
 from __future__ import annotations
@@ -82,7 +89,16 @@ def davidson_multiroot(
     ritz = [basis[i] for i in range(k)]
     rnorms = np.full(k, np.inf)
 
+    apply_batch = getattr(sigma_fn, "apply_batch", None)
+
     for it in range(1, max_iterations + 1):
+        if apply_batch is not None and len(basis) - len(sigmas) > 1:
+            pending = np.stack(
+                [b.reshape(shape) for b in basis[len(sigmas):]]
+            )
+            batch = apply_batch(pending)
+            sigmas.extend(batch.reshape(batch.shape[0], -1))
+            n_sigma += batch.shape[0]
         while len(sigmas) < len(basis):
             sigmas.append(sigma_fn(basis[len(sigmas)].reshape(shape)).ravel())
             n_sigma += 1

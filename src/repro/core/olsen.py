@@ -18,13 +18,13 @@ scheme damps with a fixed lambda (0.7 in the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
 
 import numpy as np
 
 from .checkpoint import Checkpointer, CheckpointState
 from .guards import DEFAULT_DIVERGENCE_THRESHOLD, IterateGuard
 from .model_space import DiagonalPreconditioner
+from .operator import SigmaFn
 
 __all__ = ["olsen_correction", "olsen_solve", "SolveResult"]
 
@@ -68,7 +68,7 @@ class SolveResult:
 
 
 def olsen_solve(
-    sigma_fn: Callable[[np.ndarray], np.ndarray],
+    sigma_fn: SigmaFn,
     guess: np.ndarray,
     precond: DiagonalPreconditioner,
     *,

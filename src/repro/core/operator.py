@@ -1,0 +1,151 @@
+"""HamiltonianOperator: one sigma operator for every solver and driver.
+
+Composes, in a fixed order, everything the eigensolvers previously wired up
+as ad-hoc closures:
+
+    sigma = kernel(C)                              (plan-driven H C)
+          + spin_penalty * (S^2 C - s2_target C)   (optional state targeting)
+    sigma = P_irrep sigma                          (optional symmetry projection)
+
+plus observability: cumulative kernel counters, call/batch counts, and
+per-evaluation FLOP/byte/time accounting through
+:mod:`repro.obs.accounting` when a telemetry object is attached.
+
+The operator is callable (``op(C)``) so it drops into every solver that
+expects a plain ``sigma_fn``, and exposes ``apply_batch(C_stack)`` so block
+solvers (multiroot Davidson) evaluate k sigma vectors through one batched
+kernel sweep - k-times-wider DGEMM right-hand sides instead of k separate
+sweeps, with bitwise-identical results.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from .kernels import SigmaKernel, make_kernel
+from .plans import SigmaPlan
+from .spin import SpinOperator
+
+__all__ = ["HamiltonianOperator", "SigmaFn"]
+
+# what every eigensolver accepts: sigma = f(C) on one (na, nb) CI vector.
+# A HamiltonianOperator satisfies it; block solvers additionally use its
+# apply_batch when present.
+SigmaFn = Callable[[np.ndarray], np.ndarray]
+
+
+class HamiltonianOperator:
+    """sigma = H C (plus optional spin penalty and symmetry projection).
+
+    Parameters
+    ----------
+    problem:
+        The :class:`~repro.core.problem.CIProblem`.
+    kernel:
+        A registered kernel name ("dgemm", "moc") or a ready
+        :class:`~repro.core.kernels.SigmaKernel` instance.  Names are
+        resolved through the kernel registry against the problem's cached
+        :class:`~repro.core.plans.SigmaPlan`.
+    block_columns:
+        Column-block width for the kernel; None uses the plan's
+        memory-budget heuristic (:meth:`SigmaPlan.default_block_columns`).
+    spin_penalty, s2_target:
+        When ``spin_penalty`` is non-zero, adds
+        ``spin_penalty * (S^2 C - s2_target C)`` to shift states of the
+        wrong spin multiplicity up in energy.
+    project_symmetry:
+        Apply the problem's irrep projection to the result (a no-op when
+        the problem has no symmetry mask).
+    telemetry:
+        Optional :class:`repro.obs.Telemetry`; every evaluation is then
+        accounted through the audited path.  None is a strict no-op.
+    """
+
+    def __init__(
+        self,
+        problem,
+        kernel: str | SigmaKernel = "dgemm",
+        *,
+        block_columns: int | None = None,
+        spin_penalty: float = 0.0,
+        s2_target: float = 0.0,
+        project_symmetry: bool = True,
+        telemetry=None,
+        spin_operator: SpinOperator | None = None,
+    ):
+        self.problem = problem
+        self.plan = SigmaPlan.for_problem(problem)
+        if isinstance(kernel, str):
+            kernel = make_kernel(kernel, self.plan, block_columns=block_columns)
+        self.kernel = kernel
+        self.spin_penalty = float(spin_penalty)
+        self.s2_target = float(s2_target)
+        self.project_symmetry = project_symmetry
+        self.telemetry = telemetry
+        self._spin_op = spin_operator
+        if self.spin_penalty and self._spin_op is None:
+            self._spin_op = SpinOperator(problem)
+        self.counters = kernel.make_counters()
+        self.n_calls = 0
+        self.n_batches = 0
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.problem.shape
+
+    def _decorate(self, C: np.ndarray, sigma: np.ndarray) -> np.ndarray:
+        """Spin penalty + symmetry projection for one vector, in the order
+        the pre-refactor solver closures applied them."""
+        if self.spin_penalty:
+            sigma = sigma + self.spin_penalty * (
+                self._spin_op.apply_s2(C) - self.s2_target * C
+            )
+        if self.project_symmetry and self.problem.symmetry_mask is not None:
+            sigma = self.problem.project_symmetry(sigma)
+        return sigma
+
+    def apply_batch(self, C_stack: np.ndarray) -> np.ndarray:
+        """sigma for a (k, na, nb) stack of CI vectors via one kernel sweep."""
+        C_stack = np.asarray(C_stack)
+        k = C_stack.shape[0]
+        fresh = self.kernel.make_counters()
+        t0 = time.perf_counter() if self.telemetry else 0.0
+        sigma = self.kernel.apply_batch(C_stack, fresh)
+        for i in range(k):
+            sigma[i] = self._decorate(C_stack[i], sigma[i])
+        self.counters.add(fresh)
+        self.n_calls += k
+        self.n_batches += 1
+        if self.telemetry:
+            self.kernel.account(
+                self.telemetry.registry, fresh, time.perf_counter() - t0, calls=k
+            )
+        return sigma
+
+    def apply(self, C: np.ndarray) -> np.ndarray:
+        """sigma for one (na, nb) CI vector."""
+        C = np.asarray(C)
+        fresh = self.kernel.make_counters()
+        t0 = time.perf_counter() if self.telemetry else 0.0
+        sigma = self._decorate(C, self.kernel.apply(C, fresh))
+        self.counters.add(fresh)
+        self.n_calls += 1
+        self.n_batches += 1
+        if self.telemetry:
+            self.kernel.account(
+                self.telemetry.registry, fresh, time.perf_counter() - t0
+            )
+        return sigma
+
+    __call__ = apply
+
+    def __repr__(self) -> str:
+        bits = [f"kernel={self.kernel.name!r}"]
+        if self.spin_penalty:
+            bits.append(f"spin_penalty={self.spin_penalty}")
+        if self.project_symmetry and self.problem.symmetry_mask is not None:
+            bits.append("projected")
+        return f"HamiltonianOperator({', '.join(bits)}, calls={self.n_calls})"

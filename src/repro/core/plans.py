@@ -1,0 +1,261 @@
+"""Precompiled sigma plans: the sparse index structure, built once.
+
+The paper's whole point is that sigma = H C becomes fast when the sparse
+coupling structure is *precomputed once* and the per-iteration work is pure
+gather / DGEMM / scatter.  A :class:`SigmaPlan` is that precomputation made
+explicit: for one :class:`~repro.core.problem.CIProblem` it compiles
+
+* the one-electron CSR operators T_sigma[I,J] = sum_pq h_pq <I|E_pq|J>,
+* the mixed-spin gather/scatter tables re-sorted by target string (so the
+  kernels can slice whole blocks of beta columns / alpha rows with constant
+  segment length, paper eqs. 4-6),
+* the same-spin ``key`` arrays (pair * NK + target) addressing the packed
+  (pairs x N-2-strings) intermediate, with float signs (paper eqs. 7-9),
+* the W supermatrix W[(p>r),(q>s)] = (pq|rs) - (ps|rq) and the (n^2, n^2)
+  chemists-notation G matrix,
+
+and caches all of it on the problem (``SigmaPlan.for_problem``), so every
+solver iteration, every batch column, and every simulated MSP rank reuses
+one immutable plan instead of re-deriving tables in the hot path.
+
+The plan is consumed by :mod:`repro.core.kernels` (the ``SigmaKernel``
+implementations) and by :class:`repro.parallel.pfci.ParallelSigma`, which
+replicates the same plan on every simulated rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from .excitations import DoubleAnnihilationTable, SingleExcitationTable
+
+__all__ = [
+    "SigmaPlan",
+    "SameSpinPlan",
+    "MixedSpinHalfPlan",
+    "build_w_matrix",
+    "build_g_matrix",
+    "one_electron_csr",
+    "DEFAULT_BLOCK_BUDGET_MB",
+]
+
+DEFAULT_BLOCK_BUDGET_MB = 256
+_MAX_BLOCK_COLUMNS = 1024
+
+
+def build_w_matrix(g: np.ndarray) -> np.ndarray:
+    """W[(p>r),(q>s)] = (pq|rs) - (ps|rq), packed triangular pairs.
+
+    Vectorized build: pairs are enumerated (1,0), (2,0), (2,1), ... exactly
+    like ``np.tril_indices`` so the layout matches
+    :attr:`repro.core.excitations.DoubleAnnihilationTable.pair`.
+    """
+    n = g.shape[0]
+    p, r = np.tril_indices(n, -1)
+    return (
+        g[p[:, None], p[None, :], r[:, None], r[None, :]]
+        - g[p[:, None], r[None, :], r[:, None], p[None, :]]
+    )
+
+
+def build_g_matrix(g: np.ndarray) -> np.ndarray:
+    """Chemists' (pq|rs) reshaped to a contiguous (n^2, n^2) DGEMM operand."""
+    n = g.shape[0]
+    return np.ascontiguousarray(g.reshape(n * n, n * n))
+
+
+def one_electron_csr(h: np.ndarray, table: SingleExcitationTable) -> sp.csr_matrix:
+    """Sparse one-electron operator T[I,J] = sum_pq h_pq <I|E_pq|J>."""
+    vals = h[table.p, table.q] * table.sign
+    n = table.space.size
+    return sp.csr_matrix((vals, (table.target, table.source)), shape=(n, n))
+
+
+@dataclass
+class SameSpinPlan:
+    """Precompiled addressing for one same-spin (alpha-alpha or beta-beta) term.
+
+    ``key = pair * NK + target`` is unique per table entry, so the gather into
+    the packed (n_pairs * NK, m) intermediate is a plain fancy assignment and
+    the scatter is a reshaped segment sum - no indexed accumulate.
+    """
+
+    key: np.ndarray  # pair * NK + target, int64, one per table entry
+    source: np.ndarray  # source string of each entry
+    sign: np.ndarray  # float64 signs (pre-cast once)
+    n_pairs: int  # n(n-1)/2 packed orbital pairs
+    n_reduced: int  # NK: size of the N-2-electron intermediate space
+    n_strings: int
+    pairs_per_string: int  # k(k-1)/2
+    n_entries: int
+
+    @classmethod
+    def from_table(cls, table: DoubleAnnihilationTable) -> "SameSpinPlan":
+        k = table.space.k
+        NK = table.reduced_space.size
+        return cls(
+            key=table.pair * NK + table.target,
+            source=table.source,
+            sign=table.sign.astype(np.float64),
+            n_pairs=table.n_pairs,
+            n_reduced=NK,
+            n_strings=table.space.size,
+            pairs_per_string=k * (k - 1) // 2,
+            n_entries=table.n_entries,
+        )
+
+
+@dataclass
+class MixedSpinHalfPlan:
+    """One spin side of the mixed-spin term, re-sorted by target string.
+
+    Every target string has the same number of entries (``per``), so sorted
+    order lets the kernels slice whole blocks of targets: contiguous gather
+    segments on the beta side, reshaped segment sums on the alpha side.
+    """
+
+    source: np.ndarray
+    target: np.ndarray
+    p: np.ndarray
+    q: np.ndarray
+    pq: np.ndarray  # p * n + q, flat orbital-pair index
+    sign: np.ndarray  # float64 signs (pre-cast once)
+    per: int  # entries per target string
+    n_entries: int
+
+    @classmethod
+    def from_table(cls, table: SingleExcitationTable) -> "MixedSpinHalfPlan":
+        n = table.space.n
+        order = np.argsort(table.target, kind="stable")
+        p = table.p[order]
+        q = table.q[order]
+        return cls(
+            source=table.source[order],
+            target=table.target[order],
+            p=p,
+            q=q,
+            pq=p * n + q,
+            sign=table.sign[order].astype(np.float64),
+            per=table.n_entries // table.space.size,
+            n_entries=table.n_entries,
+        )
+
+
+class SigmaPlan:
+    """Everything a sigma kernel needs, compiled once per CI problem.
+
+    Parameters
+    ----------
+    problem:
+        The CI eigenproblem.
+    reuse_problem_cache:
+        When True (the default), the plan reuses the excitation tables and
+        derived integral matrices already cached on the problem.  When False
+        it recompiles *everything* from scratch - the mode the
+        ``bench_sigma_plan`` benchmark uses to price the pre-refactor
+        rebuild-per-call behaviour.
+    """
+
+    def __init__(self, problem, *, reuse_problem_cache: bool = True):
+        self.problem = problem
+        self.n = problem.n
+        self.shape = problem.shape
+        if reuse_problem_cache:
+            singles_a = problem.singles_a
+            singles_b = problem.singles_b
+            doubles_a = problem.doubles_a if problem.n_alpha >= 2 else None
+            doubles_b = problem.doubles_b if problem.n_beta >= 2 else None
+            w = problem.w_matrix
+            gmat = problem.g_matrix
+        else:
+            singles_a = SingleExcitationTable(problem.space_a)
+            singles_b = (
+                singles_a
+                if problem.space_b is problem.space_a
+                else SingleExcitationTable(problem.space_b)
+            )
+            doubles_a = (
+                DoubleAnnihilationTable(problem.space_a)
+                if problem.n_alpha >= 2
+                else None
+            )
+            if problem.n_beta < 2:
+                doubles_b = None
+            elif problem.space_b is problem.space_a:
+                doubles_b = doubles_a
+            else:
+                doubles_b = DoubleAnnihilationTable(problem.space_b)
+            w = build_w_matrix(problem.mo.g)
+            gmat = build_g_matrix(problem.mo.g)
+        self.singles_a = singles_a
+        self.singles_b = singles_b
+        self.w_matrix = w
+        self.g_matrix = gmat
+        h = problem.mo.h
+        self.Ta = one_electron_csr(h, singles_a)
+        self.Tb = self.Ta if singles_b is singles_a else one_electron_csr(h, singles_b)
+        # mixed-spin: alpha side scatters, beta side gathers (paper eqs. 4-6)
+        self.scatter_a = MixedSpinHalfPlan.from_table(singles_a)
+        self.gather_b = (
+            self.scatter_a
+            if singles_b is singles_a
+            else MixedSpinHalfPlan.from_table(singles_b)
+        )
+        self.same_a = SameSpinPlan.from_table(doubles_a) if doubles_a is not None else None
+        if doubles_b is None:
+            self.same_b = None
+        elif doubles_b is doubles_a:
+            self.same_b = self.same_a
+        else:
+            self.same_b = SameSpinPlan.from_table(doubles_b)
+
+    @classmethod
+    def for_problem(cls, problem) -> "SigmaPlan":
+        """The problem's cached plan, compiling it on first use.
+
+        Repeated calls return the *same object*, which is what makes every
+        solver iteration (and every rank of :class:`ParallelSigma`) reuse
+        one set of tables instead of rebuilding them per sigma evaluation.
+        """
+        plan = getattr(problem, "_sigma_plan", None)
+        if plan is None:
+            plan = cls(problem)
+            problem._sigma_plan = plan
+        return plan
+
+    def default_block_columns(
+        self, *, memory_budget_mb: int = DEFAULT_BLOCK_BUDGET_MB, batch: int = 1
+    ) -> int:
+        """Column-block width sized so the D/E intermediates fit a budget.
+
+        The dominant scratch is the mixed-spin pipeline's pair of dense
+        intermediates D and E, each (n^2, m, batch * n_alpha_strings)
+        float64; the same-spin pipeline needs (n_pairs * NK, m) for each.
+        The returned ``m`` is the largest block for which both stay inside
+        ``memory_budget_mb``, clamped to [1, 1024].  This is the default
+        used by :class:`~repro.core.kernels.DgemmKernel`,
+        :class:`~repro.core.solver.FCISolver`, and
+        :class:`~repro.parallel.pfci.ParallelSigma` when ``block_columns``
+        is not given explicitly.
+        """
+        na, _ = self.shape
+        nn = self.n * self.n
+        per_col = 2 * 8 * nn * na * max(int(batch), 1)  # mixed-spin D + E
+        for splan in (self.same_a, self.same_b):
+            if splan is not None:
+                per_col = max(per_col, 2 * 8 * splan.n_pairs * splan.n_reduced)
+        budget = int(memory_budget_mb) * 2**20
+        m = budget // per_col if per_col else _MAX_BLOCK_COLUMNS
+        return int(min(max(m, 1), _MAX_BLOCK_COLUMNS))
+
+    def __repr__(self) -> str:
+        na, nb = self.shape
+        return (
+            f"SigmaPlan(n={self.n}, shape={na}x{nb}, "
+            f"singles={self.scatter_a.n_entries}+{self.gather_b.n_entries}, "
+            f"doubles={(self.same_a.n_entries if self.same_a else 0)}"
+            f"+{(self.same_b.n_entries if self.same_b else 0)})"
+        )

@@ -107,25 +107,30 @@ class CIProblem:
     def w_matrix(self) -> np.ndarray:
         """W[(p>r),(q>s)] = (pq|rs) - (ps|rq), packed triangular pairs."""
         if self._w is None:
-            n = self.n
-            npair = n * (n - 1) // 2
-            W = np.empty((npair, npair))
-            g = self.mo.g
-            pr = 0
-            pairs = [(p, r) for p in range(n) for r in range(p)]
-            for i, (p, r) in enumerate(pairs):
-                for j, (q, s) in enumerate(pairs):
-                    W[i, j] = g[p, q, r, s] - g[p, s, r, q]
-            self._w = W
+            from .plans import build_w_matrix  # local import: plans imports excitations
+
+            self._w = build_w_matrix(self.mo.g)
         return self._w
 
     @property
     def g_matrix(self) -> np.ndarray:
         """Chemists' (pq|rs) reshaped to (n^2, n^2)."""
         if self._gmat is None:
-            n = self.n
-            self._gmat = np.ascontiguousarray(self.mo.g.reshape(n * n, n * n))
+            from .plans import build_g_matrix
+
+            self._gmat = build_g_matrix(self.mo.g)
         return self._gmat
+
+    @property
+    def sigma_plan(self):
+        """The problem's cached :class:`~repro.core.plans.SigmaPlan`.
+
+        Compiled on first access and reused by every kernel, operator, and
+        simulated rank thereafter (same object each time).
+        """
+        from .plans import SigmaPlan
+
+        return SigmaPlan.for_problem(self)
 
     # --- diagonal & symmetry ---------------------------------------------
     @property

@@ -18,15 +18,17 @@ sigma = H C is evaluated matrix-free in four pieces:
       E[(pq), Ma, Kb] = sum_rs (pq|rs) D[(rs), Ma, Kb]    (dense DGEMM)
       sigma[Ka, Kb]  += sum_(pq),Ma <Ka|E^a_pq|Ma> E[(pq), Ma, Kb].
 
-Every gather/scatter here is fully vectorized: because the intermediate keys
-(pair, K) determine the source string uniquely, the gathers are plain fancy
-assignments, and because every string has a constant number of table entries
-the scatters are reshaped segment sums - no indexed accumulate (np.add.at)
-appears on the hot path, mirroring how the paper replaces indexed
-multiply-add by gather/DGEMM/scatter.
+This module is the stable functional entry point; the implementation lives
+in the kernel/operator layer: :class:`repro.core.plans.SigmaPlan` compiles
+the index structure once per problem (cached on the problem object), and
+:class:`repro.core.kernels.DgemmKernel` performs the blocked
+gather/DGEMM/scatter sweeps - batched over CI vectors when driven through
+:class:`repro.core.operator.HamiltonianOperator`.  Calling ``sigma_dgemm``
+repeatedly therefore no longer rebuilds tables in the hot path.
 
-Work is blocked over columns of the CI matrix so the intermediates stay
-cache-/memory-friendly; ``block_columns`` controls the block width.
+``block_columns`` controls the column-block width of the dense
+intermediates; the default None uses the plan's memory-budget heuristic
+(:meth:`SigmaPlan.default_block_columns`).
 """
 
 from __future__ import annotations
@@ -37,136 +39,27 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..obs.accounting import account_sigma_dgemm
-from .excitations import DoubleAnnihilationTable, SingleExcitationTable
+from .kernels import DgemmKernel, SigmaCounters
+from .plans import SigmaPlan
 from .problem import CIProblem
 
 __all__ = ["sigma_dgemm", "one_electron_operators", "SigmaCounters"]
 
 
-class SigmaCounters:
-    """Accumulates operation/traffic counts of one sigma evaluation."""
-
-    def __init__(self) -> None:
-        self.dgemm_flops = 0
-        self.gather_elements = 0
-        self.scatter_elements = 0
-
-    def as_dict(self) -> dict[str, int]:
-        return {
-            "dgemm_flops": self.dgemm_flops,
-            "gather_elements": self.gather_elements,
-            "scatter_elements": self.scatter_elements,
-        }
-
-
 def one_electron_operators(problem: CIProblem) -> tuple[sp.csr_matrix, sp.csr_matrix]:
-    """Sparse one-electron operators T_sigma[I,J] = sum_pq h_pq <I|E_pq|J>."""
-    h = problem.mo.h
+    """Sparse one-electron operators T_sigma[I,J] = sum_pq h_pq <I|E_pq|J>.
 
-    def build(table: SingleExcitationTable) -> sp.csr_matrix:
-        vals = h[table.p, table.q] * table.sign
-        n = table.space.size
-        return sp.csr_matrix(
-            (vals, (table.target, table.source)), shape=(n, n)
-        )
-
-    Ta = build(problem.singles_a)
-    Tb = Ta if problem.space_b is problem.space_a else build(problem.singles_b)
-    return Ta, Tb
-
-
-def _same_spin_rows(
-    table: DoubleAnnihilationTable,
-    W: np.ndarray,
-    C: np.ndarray,
-    block_columns: int,
-    counters: SigmaCounters | None,
-) -> np.ndarray:
-    """Same-spin contribution acting on the *row* strings of C.
-
-    C has shape (n_strings_of_this_spin, M); the beta-beta routine passes the
-    transposed CI matrix here, exactly like the paper's Fig. 2a which works
-    on transposed local C and sigma blocks.
+    Returns the operators cached on the problem's :class:`SigmaPlan`.
     """
-    space = table.space
-    k = space.k
-    if k < 2:
-        return np.zeros_like(C)
-    NK = table.reduced_space.size
-    npair = table.n_pairs
-    nstr = space.size
-    kk2 = k * (k - 1) // 2
-    key = table.pair * NK + table.target  # unique per entry
-    sgn = table.sign.astype(np.float64)
-    M = C.shape[1]
-    out = np.zeros_like(C)
-    for lo in range(0, M, block_columns):
-        hi = min(lo + block_columns, M)
-        m = hi - lo
-        D = np.zeros((npair * NK, m))
-        D[key] = sgn[:, None] * C[table.source, lo:hi]
-        E = (W @ D.reshape(npair, NK * m).reshape(npair, -1)).reshape(npair * NK, m)
-        vals = sgn[:, None] * E[key]
-        out[:, lo:hi] = vals.reshape(nstr, kk2, m).sum(axis=1)
-        if counters is not None:
-            counters.dgemm_flops += 2 * npair * npair * NK * m
-            counters.gather_elements += table.n_entries * m
-            counters.scatter_elements += table.n_entries * m
-    return out
-
-
-def _mixed_spin(
-    problem: CIProblem,
-    C: np.ndarray,
-    block_columns: int,
-    counters: SigmaCounters | None,
-) -> np.ndarray:
-    n = problem.n
-    ta, tb = problem.singles_a, problem.singles_b
-    G = problem.g_matrix
-    na, nb = C.shape
-    sigma = np.zeros_like(C)
-
-    # beta-side gather data, sorted by target string so we can slice whole
-    # blocks of beta columns; every target has the same number of entries.
-    per_b = tb.n_entries // tb.space.size
-    ord_b = np.argsort(tb.target, kind="stable")
-    b_src = tb.source[ord_b]
-    b_tgt = tb.target[ord_b]
-    b_rs = (tb.p * n + tb.q)[ord_b]
-    b_sgn = tb.sign[ord_b].astype(np.float64)
-
-    # alpha-side scatter data, sorted by target string (segment sums).
-    per_a = ta.n_entries // ta.space.size
-    ord_a = np.argsort(ta.target, kind="stable")
-    a_src = ta.source[ord_a]
-    a_pq = (ta.p * n + ta.q)[ord_a]
-    a_sgn = ta.sign[ord_a].astype(np.float64)
-
-    for lo in range(0, nb, block_columns):
-        hi = min(lo + block_columns, nb)
-        m = hi - lo
-        elo, ehi = lo * per_b, hi * per_b
-        src, tgt = b_src[elo:ehi], b_tgt[elo:ehi]
-        rs, sgn = b_rs[elo:ehi], b_sgn[elo:ehi]
-        # D[(rs), kb_local, Ma]
-        D = np.zeros((n * n, m, na))
-        D[rs, tgt - lo] = sgn[:, None] * C[:, src].T
-        E = (G @ D.reshape(n * n, m * na)).reshape(n * n, m, na)
-        vals = a_sgn[:, None] * E[a_pq, :, a_src].reshape(ta.n_entries, m)
-        sigma[:, lo:hi] += vals.reshape(na, per_a, m).sum(axis=1)
-        if counters is not None:
-            counters.dgemm_flops += 2 * (n * n) * (n * n) * m * na
-            counters.gather_elements += (ehi - elo) * na
-            counters.scatter_elements += ta.n_entries * m
-    return sigma
+    plan = SigmaPlan.for_problem(problem)
+    return plan.Ta, plan.Tb
 
 
 def sigma_dgemm(
     problem: CIProblem,
     C: np.ndarray,
     *,
-    block_columns: int = 64,
+    block_columns: int | None = None,
     counters: SigmaCounters | None = None,
     telemetry=None,
 ) -> np.ndarray:
@@ -180,29 +73,8 @@ def sigma_dgemm(
     if telemetry and counters is None:
         counters = SigmaCounters()
     t0 = time.perf_counter() if telemetry else 0.0
-    na, nb = problem.shape
-    if C.shape != (na, nb):
-        raise ValueError(f"C must have shape {(na, nb)}, got {C.shape}")
-    Ta, Tb = one_electron_operators(problem)
-    sigma = np.asarray(Ta @ C)
-    sigma += np.asarray(Tb @ C.T).T
-
-    # same-spin alpha: operator acts on rows of C
-    if problem.n_alpha >= 2:
-        sigma += _same_spin_rows(
-            problem.doubles_a, problem.w_matrix, C, block_columns, counters
-        )
-    # same-spin beta: act on rows of C^T
-    if problem.n_beta >= 2:
-        sigma += _same_spin_rows(
-            problem.doubles_b,
-            problem.w_matrix,
-            np.ascontiguousarray(C.T),
-            block_columns,
-            counters,
-        ).T
-
-    sigma += _mixed_spin(problem, C, block_columns, counters)
+    kernel = DgemmKernel(SigmaPlan.for_problem(problem), block_columns=block_columns)
+    sigma = kernel.apply(C, counters)
     if telemetry:
         account_sigma_dgemm(telemetry.registry, counters, time.perf_counter() - t0)
     return sigma

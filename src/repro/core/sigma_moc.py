@@ -19,6 +19,9 @@ Characteristic costs reproduced here on purpose:
 Numerically it agrees with ``sigma_dgemm`` to machine precision; it is the
 *kernel structure* (indexed updates vs. dense DGEMM) that differs, which is
 what the Cray-X1 cost model charges differently.
+
+The implementation lives in :class:`repro.core.kernels.MocKernel`; this
+module is the stable functional entry point.
 """
 
 from __future__ import annotations
@@ -28,127 +31,11 @@ import time
 import numpy as np
 
 from ..obs.accounting import account_sigma_moc
+from .kernels import MocKernel, MOCCounters
+from .plans import SigmaPlan
 from .problem import CIProblem
-from .sigma_dgemm import one_electron_operators
 
 __all__ = ["sigma_moc", "MOCCounters"]
-
-
-class MOCCounters:
-    """Operation/traffic counters for one MOC sigma evaluation."""
-
-    def __init__(self) -> None:
-        self.indexed_ops = 0
-        self.matrix_elements_computed = 0
-
-    def as_dict(self) -> dict[str, int]:
-        return {
-            "indexed_ops": self.indexed_ops,
-            "matrix_elements_computed": self.matrix_elements_computed,
-        }
-
-
-def _same_spin_moc(
-    problem: CIProblem,
-    space,
-    C_rows: np.ndarray,
-    counters: MOCCounters | None,
-) -> np.ndarray:
-    """Same-spin two-electron term acting on the row strings of C_rows.
-
-    Regenerates every string's double-excitation list on the fly (per call).
-    """
-    n = space.n
-    k = space.k
-    if k < 2:
-        return np.zeros_like(C_rows)
-    W = problem.w_matrix
-    nstr = space.size
-    out = np.zeros_like(C_rows)
-    masks = space.masks
-    occs = space.occupations
-    index = space._index
-
-    def pair_index(a: int, b: int) -> int:  # a > b
-        return a * (a - 1) // 2 + b
-
-    for j in range(nstr):
-        mask = int(masks[j])
-        occ = [int(o) for o in occs[j]]
-        # accumulate H[I, j] for all same-spin-connected I
-        vals = np.zeros(nstr)
-        for bq in range(k):
-            q = occ[bq]
-            m1, s1 = _annihilate(mask, q)
-            for bs in range(bq):
-                s = occ[bs]
-                m2, s2 = _annihilate(m1, s)
-                qs = pair_index(q, s)
-                free = [p for p in range(n) if not (m2 >> p) & 1]
-                for ip, p in enumerate(free):  # p > r: a+_p applied last
-                    for r in free[:ip]:
-                        m3, s3 = _create(m2, r)
-                        m4, s4 = _create(m3, p)
-                        i_idx = index[m4]
-                        vals[i_idx] += s1 * s2 * s3 * s4 * W[pair_index(p, r), qs]
-                        if counters is not None:
-                            counters.matrix_elements_computed += 1
-        nz = np.nonzero(vals)[0]
-        out[nz, :] += vals[nz, None] * C_rows[j, :]
-        if counters is not None:
-            counters.indexed_ops += nz.size * C_rows.shape[1]
-    return out
-
-
-def _annihilate(mask: int, orb: int) -> tuple[int, int]:
-    sign = -1 if bin(mask & ((1 << orb) - 1)).count("1") & 1 else 1
-    return mask & ~(1 << orb), sign
-
-
-def _create(mask: int, orb: int) -> tuple[int, int]:
-    sign = -1 if bin(mask & ((1 << orb) - 1)).count("1") & 1 else 1
-    return mask | (1 << orb), sign
-
-
-def _mixed_spin_moc(
-    problem: CIProblem,
-    C: np.ndarray,
-    counters: MOCCounters | None,
-    row_block: int = 512,
-) -> np.ndarray:
-    """Mixed-spin term via per-(p,q) gathered alpha rows and indexed beta updates."""
-    n = problem.n
-    ta, tb = problem.singles_a, problem.singles_b
-    g = problem.mo.g
-    nb = problem.space_b.size
-    sigma = np.zeros_like(C)
-
-    # beta table sorted by target; constant segment length per target
-    per_b = tb.n_entries // tb.space.size
-    ord_b = np.argsort(tb.target, kind="stable")
-    b_src = tb.source[ord_b]
-    b_r = tb.p[ord_b]
-    b_s = tb.q[ord_b]
-    b_sgn = tb.sign[ord_b].astype(np.float64)
-
-    for p in range(n):
-        for q in range(n):
-            rows = ta.rows_for_pq(p, q)
-            if rows.size == 0:
-                continue
-            src_a = ta.source[rows]
-            tgt_a = ta.target[rows]
-            sgn_a = ta.sign[rows].astype(np.float64)
-            wb = g[p, q, b_r, b_s] * b_sgn  # weights per beta entry
-            for lo in range(0, rows.size, row_block):
-                hi = min(lo + row_block, rows.size)
-                V = sgn_a[lo:hi, None] * C[src_a[lo:hi], :]
-                T = V[:, b_src] * wb[None, :]
-                Wm = T.reshape(hi - lo, nb, per_b).sum(axis=2)
-                sigma[tgt_a[lo:hi], :] += Wm
-                if counters is not None:
-                    counters.indexed_ops += (hi - lo) * b_src.size
-    return sigma
 
 
 def sigma_moc(
@@ -167,19 +54,8 @@ def sigma_moc(
     if telemetry and counters is None:
         counters = MOCCounters()
     t0 = time.perf_counter() if telemetry else 0.0
-    na, nb = problem.shape
-    if C.shape != (na, nb):
-        raise ValueError(f"C must have shape {(na, nb)}, got {C.shape}")
-    Ta, Tb = one_electron_operators(problem)
-    sigma = np.asarray(Ta @ C)
-    sigma += np.asarray(Tb @ C.T).T
-    if problem.n_alpha >= 2:
-        sigma += _same_spin_moc(problem, problem.space_a, C, counters)
-    if problem.n_beta >= 2:
-        sigma += _same_spin_moc(
-            problem, problem.space_b, np.ascontiguousarray(C.T), counters
-        ).T
-    sigma += _mixed_spin_moc(problem, C, counters)
+    kernel = MocKernel(SigmaPlan.for_problem(problem))
+    sigma = kernel.apply(C, counters)
     if telemetry:
         account_sigma_moc(telemetry.registry, counters, time.perf_counter() - t0)
     return sigma

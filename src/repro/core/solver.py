@@ -23,11 +23,11 @@ from ..scf.rohf import rohf
 from .auto_single import auto_adjusted_solve
 from .checkpoint import Checkpointer
 from .davidson import davidson_solve
+from .kernels import kernel_names
 from .model_space import DiagonalPreconditioner, ModelSpacePreconditioner
 from .olsen import SolveResult, olsen_solve
+from .operator import HamiltonianOperator
 from .problem import CIProblem
-from .sigma_dgemm import sigma_dgemm
-from .sigma_moc import sigma_moc
 from .spin import SpinOperator
 from .strings import string_irrep
 
@@ -36,7 +36,6 @@ __all__ = ["FCISolver", "FCIResult", "MultiRootFCIResult", "fci"]
 logger = logging.getLogger(__name__)
 
 _METHODS = ("auto", "davidson", "olsen", "olsen-damped")
-_ALGORITHMS = ("dgemm", "moc")
 
 
 @dataclass
@@ -79,10 +78,16 @@ class FCISolver:
         Target irrep name (requires point_group); default = irrep of the SCF
         determinant.
     algorithm:
-        "dgemm" (the paper's algorithm) or "moc" (baseline).
+        Name of a registered sigma kernel: "dgemm" (the paper's algorithm)
+        or "moc" (baseline).  Validated against the kernel registry
+        (:func:`repro.core.kernels.kernel_names`) at construction time.
     method:
         "auto" (paper's automatically adjusted single-vector method),
         "davidson", "olsen", or "olsen-damped".
+    block_columns:
+        Column-block width of the sigma kernel's dense intermediates; the
+        default None sizes it from a memory budget via
+        :meth:`repro.core.plans.SigmaPlan.default_block_columns`.
     telemetry:
         Optional :class:`repro.obs.Telemetry`.  When given, per-iteration
         solver telemetry (energy, residual norm, step length) and
@@ -108,6 +113,7 @@ class FCISolver:
         wavefunction_irrep: str | None = None,
         algorithm: str = "dgemm",
         method: str = "auto",
+        block_columns: int | None = None,
         model_space_size: int = 50,
         spin_penalty: float = 0.0,
         olsen_step: float = 0.7,
@@ -119,8 +125,13 @@ class FCISolver:
         telemetry=None,
         checkpoint=None,
     ):
-        if algorithm not in _ALGORITHMS:
-            raise ValueError(f"algorithm must be one of {_ALGORITHMS}")
+        # validate against the kernel registry at construction time, so an
+        # unknown algorithm fails here instead of silently falling back later
+        if algorithm not in kernel_names():
+            raise ValueError(
+                f"algorithm must be a registered sigma kernel "
+                f"({', '.join(kernel_names())}); got {algorithm!r}"
+            )
         if method not in _METHODS:
             raise ValueError(f"method must be one of {_METHODS}")
         self.mol = mol
@@ -131,6 +142,7 @@ class FCISolver:
         self.wavefunction_irrep = wavefunction_irrep
         self.algorithm = algorithm
         self.method = method
+        self.block_columns = block_columns
         self.model_space_size = model_space_size
         self.spin_penalty = float(spin_penalty)
         self.olsen_step = olsen_step
@@ -215,25 +227,25 @@ class FCISolver:
         )
         return problem, scf, mo
 
+    def build_operator(self, problem: CIProblem, **overrides) -> HamiltonianOperator:
+        """The solver's sigma operator for an already-built problem."""
+        spin_op = SpinOperator(problem)
+        s_target = 0.5 * (self.mol.multiplicity - 1)
+        kwargs = dict(
+            block_columns=self.block_columns,
+            spin_penalty=self.spin_penalty,
+            s2_target=s_target * (s_target + 1.0),
+            telemetry=self.telemetry,
+            spin_operator=spin_op,
+        )
+        kwargs.update(overrides)
+        return HamiltonianOperator(problem, self.algorithm, **kwargs)
+
     def run(self) -> FCIResult:
         """Execute the full pipeline and return the converged result."""
         problem, scf, mo = self.build_problem()
-        sigma_raw = sigma_dgemm if self.algorithm == "dgemm" else sigma_moc
-        n_calls = [0]
-        spin_op = SpinOperator(problem)
-        s_target = 0.5 * (self.mol.multiplicity - 1)
-        s2_target = s_target * (s_target + 1.0)
-
-        def sigma_fn(C: np.ndarray) -> np.ndarray:
-            n_calls[0] += 1
-            out = sigma_raw(problem, C, telemetry=self.telemetry)
-            if self.spin_penalty:
-                out = out + self.spin_penalty * (
-                    spin_op.apply_s2(C) - s2_target * C
-                )
-            if problem.symmetry_mask is not None:
-                out = problem.project_symmetry(out)
-            return out
+        sigma_fn = self.build_operator(problem)
+        spin_op = sigma_fn._spin_op
 
         if self.model_space_size > 0:
             precond: DiagonalPreconditioner = ModelSpacePreconditioner(
@@ -275,7 +287,7 @@ class FCISolver:
                 total,
                 solve.converged,
                 solve.n_iterations,
-                n_calls[0],
+                sigma_fn.n_calls,
                 dimension=problem.dimension,
             )
         if not solve.converged:
@@ -302,7 +314,7 @@ class FCISolver:
             solve=solve,
             scf=scf,
             mo=mo,
-            n_sigma=n_calls[0],
+            n_sigma=sigma_fn.n_calls,
             s_squared=spin_op.expectation(solve.vector),
         )
 
@@ -313,13 +325,9 @@ class FCISolver:
 
         problem, scf, mo = self.build_problem()
         spin_op = SpinOperator(problem)
-        sigma_raw = sigma_dgemm if self.algorithm == "dgemm" else sigma_moc
-
-        def sigma_fn(C: np.ndarray) -> np.ndarray:
-            out = sigma_raw(problem, C, telemetry=self.telemetry)
-            if problem.symmetry_mask is not None:
-                out = problem.project_symmetry(out)
-            return out
+        # multiroot targets all spins in the block: no spin penalty, and the
+        # batched apply lets Davidson evaluate whole blocks in one sweep
+        sigma_fn = self.build_operator(problem, spin_penalty=0.0)
 
         size = max(self.model_space_size, 4 * n_roots)
         precond = ModelSpacePreconditioner(problem, size)

@@ -23,6 +23,7 @@ name                      kind       meaning
 sigma.<algo>.calls        counter    sigma evaluations accounted
 sigma.<algo>.flops        counter    kernel floating-point operations
 sigma.<algo>.seconds      timer      wall seconds per evaluation
+sigma.dgemm.gemm_calls    counter    dense DGEMM invocations (E = W.D / G.D)
 sigma.dgemm.gather_elems  counter    vector-gather traffic (elements)
 sigma.dgemm.scatter_elems counter    vector-scatter traffic (elements)
 sigma.moc.indexed_ops     counter    indexed multiply-add updates
@@ -131,17 +132,21 @@ def account_sigma_dgemm(
     registry: MetricsRegistry,
     counters: Mapping[str, float] | Any,
     wall_seconds: float,
+    calls: int = 1,
 ) -> FlopLedger:
     """Fold one instrumented ``sigma_dgemm`` evaluation into the registry.
 
     ``counters`` is a ``SigmaCounters`` instance or its ``as_dict()``.
+    ``calls`` is the number of sigma evaluations the counters cover - a
+    batched kernel accounts k vectors in one go.
     """
     c = counters.as_dict() if hasattr(counters, "as_dict") else dict(counters)
     flops = float(c.get("dgemm_flops", 0.0))
     gathers = float(c.get("gather_elements", 0.0))
     scatters = float(c.get("scatter_elements", 0.0))
-    registry.counter("sigma.dgemm.calls").inc()
+    registry.counter("sigma.dgemm.calls").inc(calls)
     registry.counter("sigma.dgemm.flops").inc(flops)
+    registry.counter("sigma.dgemm.gemm_calls").inc(float(c.get("dgemm_calls", 0.0)))
     registry.counter("sigma.dgemm.gather_elems").inc(gathers)
     registry.counter("sigma.dgemm.scatter_elems").inc(scatters)
     registry.timer("sigma.dgemm.seconds").observe(wall_seconds)
@@ -158,12 +163,16 @@ def account_sigma_moc(
     registry: MetricsRegistry,
     counters: Mapping[str, float] | Any,
     wall_seconds: float,
+    calls: int = 1,
 ) -> FlopLedger:
-    """Fold one instrumented ``sigma_moc`` evaluation into the registry."""
+    """Fold one instrumented ``sigma_moc`` evaluation into the registry.
+
+    ``calls`` is the number of sigma evaluations the counters cover.
+    """
     c = counters.as_dict() if hasattr(counters, "as_dict") else dict(counters)
     indexed = float(c.get("indexed_ops", 0.0))
     elements = float(c.get("matrix_elements_computed", 0.0))
-    registry.counter("sigma.moc.calls").inc()
+    registry.counter("sigma.moc.calls").inc(calls)
     registry.counter("sigma.moc.indexed_ops").inc(indexed)
     registry.counter("sigma.moc.matrix_elements").inc(elements)
     registry.counter("sigma.moc.flops").inc(2.0 * indexed)

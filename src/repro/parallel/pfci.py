@@ -47,8 +47,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.kernels import same_spin_sigma
+from ..core.plans import SigmaPlan
 from ..core.problem import CIProblem
-from ..core.sigma_dgemm import _same_spin_rows, one_electron_operators
 from ..obs.accounting import account_parallel_report
 from ..x1.ddi import DDIArray, DynamicLoadBalancer, block_ranges
 from ..x1.engine import Engine, RankStats, SymmetricHeap
@@ -93,6 +94,13 @@ class ParallelReport:
 class ParallelSigma:
     """Parallel sigma operator; call it like a function on CI matrices.
 
+    All coupling tables come from the problem's cached
+    :class:`repro.core.plans.SigmaPlan` (one compile, replicated on every
+    simulated rank), and the same-spin kernels are shared with the serial
+    :class:`repro.core.kernels.DgemmKernel`.  ``block_columns=None`` (the
+    default) sizes the column blocks with the plan's memory-budget
+    heuristic, :meth:`SigmaPlan.default_block_columns`.
+
     ``telemetry`` (a :class:`repro.obs.Telemetry`) routes per-call FLOP and
     byte accounting into its metrics registry; ``tracer`` (a
     :class:`repro.obs.tracer.SpanTracer`, defaulting to the telemetry's
@@ -107,7 +115,7 @@ class ParallelSigma:
         problem: CIProblem,
         config: X1Config,
         *,
-        block_columns: int = 64,
+        block_columns: int | None = None,
         n_fine_per_proc: int = 8,
         n_large_per_proc: int = 3,
         n_small_per_proc: int = 4,
@@ -118,7 +126,14 @@ class ParallelSigma:
     ):
         self.problem = problem
         self.config = config
-        self.block_columns = block_columns
+        # every simulated MSP replicates the problem's one precompiled plan
+        # (paper section 3: replicated integrals + coupling tables per rank)
+        self.plan = SigmaPlan.for_problem(problem)
+        self.block_columns = (
+            block_columns
+            if block_columns is not None
+            else self.plan.default_block_columns()
+        )
         self.telemetry = telemetry
         self.tracer = tracer if tracer is not None else (telemetry.tracer if telemetry else None)
         self.faults = faults
@@ -129,24 +144,12 @@ class ParallelSigma:
         self.col_ranges = block_ranges(nb, P)
         self.report = ParallelReport()
 
-        # replicated tables (every MSP holds the integrals and coupling data)
-        self.Ta, self.Tb = one_electron_operators(problem)
-        n = problem.n
-        ta = problem.singles_a
-        self._per_a = ta.n_entries // problem.space_a.size
-        ord_a = np.argsort(ta.target, kind="stable")
-        self._a_src = ta.source[ord_a]
-        self._a_tgt = ta.target[ord_a]
-        self._a_pq = (ta.p * n + ta.q)[ord_a]
-        self._a_sgn = ta.sign[ord_a].astype(np.float64)
-
-        tb = problem.singles_b
-        self._per_b = tb.n_entries // problem.space_b.size
-        ord_b = np.argsort(tb.target, kind="stable")
-        self._b_src = tb.source[ord_b]
-        self._b_tgt = tb.target[ord_b]
-        self._b_rs = (tb.p * n + tb.q)[ord_b]
-        self._b_sgn = tb.sign[ord_b].astype(np.float64)
+        # replicated tables come straight off the plan: the one-electron CSR
+        # operators and the target-sorted mixed-spin halves are compiled once
+        # per problem, not rebuilt per ParallelSigma (or per call)
+        self.Ta, self.Tb = self.plan.Ta, self.plan.Tb
+        self._per_a = self.plan.scatter_a.per
+        self._per_b = self.plan.gather_b.per
 
         # task pool over alpha rows for the mixed-spin phase; per-unit cost
         # estimated as the GEMM work of one target row (uniform without
@@ -166,18 +169,20 @@ class ParallelSigma:
         )
         if self.telemetry:
             publish_pool_metrics(self.telemetry.registry, self.tasks, "taskpool.mixed")
-        # per-task gather metadata
+        # per-task gather metadata, sliced from the plan's target-sorted
+        # alpha scatter half (constant entries per target string)
+        sa = self.plan.scatter_a
         self._task_meta = []
         for t in self.tasks:
             elo, ehi = t.start * self._per_a, t.stop * self._per_a
-            src = self._a_src[elo:ehi]
+            src = sa.source[elo:ehi]
             rows_needed, src_local = np.unique(src, return_inverse=True)
             self._task_meta.append(
                 {
                     "rows": rows_needed,
                     "src_local": src_local,
-                    "pq": self._a_pq[elo:ehi],
-                    "sgn": self._a_sgn[elo:ehi],
+                    "pq": sa.pq[elo:ehi],
+                    "sgn": sa.sign[elo:ehi],
                     "m": t.stop - t.start,
                 }
             )
@@ -195,55 +200,56 @@ class ParallelSigma:
     def _beta_beta_block(self, Cblk: np.ndarray) -> tuple[np.ndarray, float, float]:
         """Local-phase sigma rows for one C block: one-electron beta +
         beta-beta doubles; returns (sigma_block, model_seconds, flops)."""
-        problem = self.problem
+        plan = self.plan
         cfg = self.config
         m = Cblk.shape[0]
-        nb = problem.space_b.size
-        npair = problem.w_matrix.shape[0]
+        nb = self.problem.space_b.size
+        npair = plan.w_matrix.shape[0]
         sig_local = np.zeros((m, nb))
         sig_local += np.asarray(self.Tb @ Cblk.T).T
-        if problem.n_beta >= 2:
-            sig_local += _same_spin_rows(
-                problem.doubles_b,
-                problem.w_matrix,
+        if plan.same_b is not None:
+            sig_local += same_spin_sigma(
+                plan.same_b,
+                plan.w_matrix,
                 np.ascontiguousarray(Cblk.T),
                 self.block_columns,
                 None,
             ).T
-        nkb = problem.doubles_b.reduced_space.size if problem.n_beta >= 2 else 0
+        nkb = plan.same_b.n_reduced if plan.same_b is not None else 0
         flops = 2.0 * npair * npair * nkb * m
         t = cfg.dgemm_time(npair, max(nkb * m, 1), npair) if nkb else 0.0
         t += cfg.gather_time(
-            2.0 * (problem.doubles_b.n_entries if problem.n_beta >= 2 else 0)
+            2.0 * (plan.same_b.n_entries if plan.same_b is not None else 0)
             * m
-            / max(problem.space_b.size, 1)
-            * problem.space_b.size
+            / max(nb, 1)
+            * nb
         )
         return sig_local, t, flops
 
     def _alpha_block(self, colC: np.ndarray, w: int) -> tuple[np.ndarray, float, float]:
         """Alpha one-electron + alpha-alpha doubles on one transposed column
         block; returns (X, model_seconds, flops)."""
-        problem = self.problem
+        plan = self.plan
         cfg = self.config
-        npair = problem.w_matrix.shape[0]
+        npair = plan.w_matrix.shape[0]
         X = np.asarray(self.Ta @ colC)
-        if problem.n_alpha >= 2:
-            X += _same_spin_rows(
-                problem.doubles_a, problem.w_matrix, colC, self.block_columns, None
+        if plan.same_a is not None:
+            X += same_spin_sigma(
+                plan.same_a, plan.w_matrix, colC, self.block_columns, None
             )
-        nka = problem.doubles_a.reduced_space.size if problem.n_alpha >= 2 else 0
+        nka = plan.same_a.n_reduced if plan.same_a is not None else 0
         flops = 2.0 * npair * npair * nka * w
         t = cfg.dgemm_time(npair, max(nka * w, 1), npair) if nka else 0.0
         return X, t, flops
 
     def _mixed_subset(self, Csub: np.ndarray, meta: dict) -> np.ndarray:
         """Mixed-spin sigma rows for one task from gathered source rows."""
-        problem = self.problem
-        n = problem.n
-        G = problem.g_matrix
+        plan = self.plan
+        n = plan.n
+        G = plan.g_matrix
+        gb = plan.gather_b
         g_rows = Csub.shape[0]
-        nb = problem.space_b.size
+        nb = self.problem.space_b.size
         m = meta["m"]
         out = np.zeros((m, nb))
         bc = self.block_columns
@@ -251,8 +257,8 @@ class ParallelSigma:
             hi = min(lo + bc, nb)
             w = hi - lo
             elo, ehi = lo * self._per_b, hi * self._per_b
-            src, tgt = self._b_src[elo:ehi], self._b_tgt[elo:ehi]
-            rs, sgn = self._b_rs[elo:ehi], self._b_sgn[elo:ehi]
+            src, tgt = gb.source[elo:ehi], gb.target[elo:ehi]
+            rs, sgn = gb.pq[elo:ehi], gb.sign[elo:ehi]
             D = np.zeros((n * n, w, g_rows))
             D[rs, tgt - lo] = sgn[:, None] * Csub[:, src].T
             E = (G @ D.reshape(n * n, w * g_rows)).reshape(n * n, w, g_rows)
@@ -268,7 +274,7 @@ class ParallelSigma:
         g_rows = meta["rows"].size
         flops = 2.0 * (n * n) * (n * n) * nb * g_rows
         t = cfg.dgemm_time(n * n, nb * g_rows, n * n)
-        t += cfg.gather_time(self._b_src.size / max(nb, 1) * nb * g_rows)
+        t += cfg.gather_time(self.plan.gather_b.n_entries / max(nb, 1) * nb * g_rows)
         t += cfg.gather_time(meta["pq"].size * nb)
         return t, flops
 

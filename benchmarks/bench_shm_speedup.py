@@ -1,0 +1,125 @@
+"""Strong-scaling of the shm backend: real processes, one big sigma.
+
+The paper's scaling figure is about one thing: does adding processors to
+a fixed FCI space keep making sigma faster?  This benchmark asks the same
+question of the ``"shm"`` execution backend on a determinant space of
+paper-relevant size (>= 1e6 determinants), sweeping the worker count and
+recording the strong-scaling curve into ``BENCH_shm_speedup.json``.
+
+Gate: >= 1.5x speedup at 4 workers over 1 worker — *enforced only on
+machines with >= 4 CPUs*; on smaller boxes (CI runners, laptops) the
+curve is still measured and recorded, with ``gate_enforced: false`` in
+the metrics so downstream tooling knows why no assertion fired.
+
+Environment overrides (all optional):
+
+* ``REPRO_SHM_BENCH_SPACE``   — "n,na,nb" FCI space (default "13,6,5",
+  C(13,6) x C(13,5) = 2,208,492 determinants)
+* ``REPRO_SHM_BENCH_WORKERS`` — comma list of worker counts (default "1,2,4")
+* ``REPRO_SHM_BENCH_GATE``    — speedup gate at the largest count (default 1.5)
+* ``REPRO_SHM_BENCH_REPEATS`` — timed repetitions per count (default 3)
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core import CIProblem, SigmaPlan
+from repro.parallel import ParallelSigma
+from repro.scf.mo import MOIntegrals
+
+from conftest import write_result
+
+
+def _env(name, default):
+    return os.environ.get(f"REPRO_SHM_BENCH_{name}", default)
+
+
+def _random_problem(n, n_alpha, n_beta, seed=42):
+    rng = np.random.default_rng(seed)
+    h = rng.standard_normal((n, n))
+    h = 0.5 * (h + h.T) + np.diag(np.linspace(-3, 2, n)) * 2
+    g = rng.standard_normal((n, n, n, n))
+    g = g + g.transpose(1, 0, 2, 3)
+    g = g + g.transpose(0, 1, 3, 2)
+    g = g + g.transpose(2, 3, 0, 1)
+    return CIProblem(MOIntegrals(h=h, g=g, e_core=0.0, n_orbitals=n), n_alpha, n_beta)
+
+
+def _time_sigma(problem, C, n_workers, repeats):
+    """Best wall-clock of ``repeats`` sigma calls on a warm n-worker pool."""
+    with ParallelSigma(problem, backend="shm", n_workers=n_workers) as ps:
+        ps(C)  # warm-up: absorbs spawn + first-touch costs
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            ps(C)
+            best = min(best, time.perf_counter() - t0)
+        gflops = ps.report.gflops_rate()
+    return best, gflops
+
+
+def test_shm_strong_scaling():
+    n, na, nb = (int(x) for x in _env("SPACE", "13,6,5").split(","))
+    worker_counts = [int(x) for x in _env("WORKERS", "1,2,4").split(",")]
+    gate = float(_env("GATE", "1.5"))
+    repeats = int(_env("REPEATS", "3"))
+    cpus = os.cpu_count() or 1
+    # a 1.5x-at-4-workers gate is meaningless when the OS timeslices all
+    # workers onto fewer cores than the largest count needs
+    gate_enforced = cpus >= max(worker_counts)
+
+    problem = _random_problem(n, na, nb)
+    n_det = problem.shape[0] * problem.shape[1]
+    assert n_det >= 1_000_000, (
+        f"FCI({na}+{nb},{n}) has only {n_det:,} determinants; the scaling "
+        "question needs a paper-sized space (>= 1e6)"
+    )
+    SigmaPlan.for_problem(problem)  # compile tables once, outside the timings
+    C = problem.random_vector(0)
+
+    lines = [
+        f"shm strong scaling: FCI({na}+{nb},{n}), "
+        f"{n_det:,} determinants, {cpus} CPUs"
+    ]
+    lines.append(f"{'workers':>8} {'seconds':>10} {'speedup':>8} {'GF/s':>8}")
+    rows = []
+    times = {}
+    for w in worker_counts:
+        t, gflops = _time_sigma(problem, C, w, repeats)
+        times[w] = t
+        s = times[worker_counts[0]] / t
+        rows.append({"n_workers": w, "seconds": t, "speedup": s, "gflops": gflops})
+        lines.append(f"{w:>8} {t:>10.3f} {s:>7.2f}x {gflops:>8.2f}")
+
+    largest = worker_counts[-1]
+    speedup = times[worker_counts[0]] / times[largest]
+    lines.append("")
+    if gate_enforced:
+        gate_note = "enforced"
+    else:
+        gate_note = f"recorded only: {cpus} < {max(worker_counts)} CPUs"
+    lines.append(
+        f"speedup at {largest} workers: {speedup:.2f}x (gate {gate:.1f}x, {gate_note})"
+    )
+
+    write_result(
+        "BENCH_shm_speedup",
+        "\n".join(lines),
+        rows=rows,
+        metrics={
+            "space": {"n_orbitals": n, "n_alpha": na, "n_beta": nb},
+            "n_determinants": n_det,
+            "cpu_count": cpus,
+            "worker_counts": worker_counts,
+            f"speedup_at_{largest}": speedup,
+            "gate": gate,
+            "gate_enforced": gate_enforced,
+        },
+    )
+    if gate_enforced:
+        assert speedup >= gate, (
+            f"shm speedup at {largest} workers is {speedup:.2f}x, "
+            f"below the {gate:.1f}x gate"
+        )

@@ -47,7 +47,9 @@ __all__ = [
     "kernel_names",
     "make_kernel",
     "same_spin_sigma",
+    "same_spin_sigma_stack",
     "mixed_spin_sigma_stack",
+    "column_blocks",
 ]
 
 
@@ -202,12 +204,29 @@ def same_spin_sigma(
     return out
 
 
+def column_blocks(n_columns: int, block_columns: int) -> list[tuple[int, int]]:
+    """The (lo, hi) column blocks a kernel sweeps for an n_columns space.
+
+    This is the canonical blocking every sigma sweep uses; distributing
+    *whole* blocks across workers is what lets the shared-memory backend
+    issue operand-identical DGEMMs and stay bitwise-equal to the serial
+    kernel.
+    """
+    return [
+        (lo, min(lo + block_columns, n_columns))
+        for lo in range(0, n_columns, block_columns)
+    ]
+
+
 def same_spin_sigma_stack(
     splan: SameSpinPlan,
     W: np.ndarray,
     C_rows: np.ndarray,
     block_columns: int,
     counters: SigmaCounters | None,
+    *,
+    col_blocks: list[tuple[int, int]] | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Same-spin term for a (k, nstr, M) stack of row-major CI matrices.
 
@@ -215,6 +234,13 @@ def same_spin_sigma_stack(
     slice of the stack sees exactly the single-vector operands, so the
     result is bitwise-identical to looping :func:`same_spin_sigma` over the
     k vectors while issuing k-times fewer DGEMM invocations.
+
+    ``col_blocks`` restricts the sweep to a subset of the canonical
+    :func:`column_blocks` (the shared-memory backend distributes whole
+    blocks across workers; each block's operands — and therefore its
+    rounding — are identical to the full serial sweep).  ``out`` writes
+    results into a caller-provided array (e.g. a shared-memory segment)
+    instead of allocating; only the swept blocks are touched.
     """
     NK = splan.n_reduced
     npair = splan.n_pairs
@@ -224,9 +250,11 @@ def same_spin_sigma_stack(
     sgn = splan.sign
     src = splan.source
     k, _, M = C_rows.shape
-    out = np.zeros_like(C_rows)
-    for lo in range(0, M, block_columns):
-        hi = min(lo + block_columns, M)
+    if out is None:
+        out = np.zeros_like(C_rows)
+    if col_blocks is None:
+        col_blocks = column_blocks(M, block_columns)
+    for lo, hi in col_blocks:
         m = hi - lo
         D = np.zeros((k, npair * NK, m))
         D[:, key] = sgn[None, :, None] * C_rows[:, src, lo:hi]
@@ -246,6 +274,9 @@ def mixed_spin_sigma_stack(
     C_stack: np.ndarray,
     block_columns: int,
     counters: SigmaCounters | None,
+    *,
+    col_blocks: list[tuple[int, int]] | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Mixed-spin (alpha-beta) term for a (k, na, nb) stack of CI vectors.
 
@@ -254,6 +285,11 @@ def mixed_spin_sigma_stack(
     invocation over a k-times-larger right-hand side.  Slice i of every
     operand equals the single-vector case exactly, so the batch is
     bitwise-identical to a vector-at-a-time loop.
+
+    ``col_blocks``/``out`` have the same contract as in
+    :func:`same_spin_sigma_stack`: restrict the sweep to a subset of the
+    canonical blocks and/or scatter into a caller-provided buffer, with
+    per-block arithmetic unchanged.
     """
     n = plan.n
     na, nb = plan.shape
@@ -262,9 +298,10 @@ def mixed_spin_sigma_stack(
     sa = plan.scatter_a
     G = plan.g_matrix
     per_b, per_a = gb.per, sa.per
-    sigma = np.zeros_like(C_stack)
-    for lo in range(0, nb, block_columns):
-        hi = min(lo + block_columns, nb)
+    sigma = np.zeros_like(C_stack) if out is None else out
+    if col_blocks is None:
+        col_blocks = column_blocks(nb, block_columns)
+    for lo, hi in col_blocks:
         m = hi - lo
         elo, ehi = lo * per_b, hi * per_b
         src, tgt = gb.source[elo:ehi], gb.target[elo:ehi]

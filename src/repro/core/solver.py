@@ -88,6 +88,15 @@ class FCISolver:
         Column-block width of the sigma kernel's dense intermediates; the
         default None sizes it from a memory budget via
         :meth:`repro.core.plans.SigmaPlan.default_block_columns`.
+    parallel:
+        Run sigma through :class:`repro.parallel.ParallelSigma` instead of
+        the serial kernel: an execution-backend name (``"simulated"`` for
+        the discrete-event X1, ``"shm"`` for real worker processes over
+        shared memory) or an option dict passed to ``ParallelSigma``
+        (e.g. ``{"backend": "shm", "n_workers": 4}``).  Requires
+        ``algorithm="dgemm"`` (the parallel decomposition is the paper's
+        DGEMM sigma); the default None keeps the serial kernel.  Worker
+        pools are shut down when :meth:`run` returns.
     telemetry:
         Optional :class:`repro.obs.Telemetry`.  When given, per-iteration
         solver telemetry (energy, residual norm, step length) and
@@ -122,6 +131,7 @@ class FCISolver:
         max_iterations: int = 60,
         ao_integrals: AOIntegrals | None = None,
         scf_result: SCFResult | None = None,
+        parallel: str | dict | None = None,
         telemetry=None,
         checkpoint=None,
     ):
@@ -134,6 +144,28 @@ class FCISolver:
             )
         if method not in _METHODS:
             raise ValueError(f"method must be one of {_METHODS}")
+        if parallel is not None:
+            if algorithm != "dgemm":
+                raise ValueError(
+                    "parallel execution runs the DGEMM sigma decomposition; "
+                    f"it cannot be combined with algorithm={algorithm!r}"
+                )
+            from ..parallel.backend import backend_names
+
+            if isinstance(parallel, str):
+                parallel = {"backend": parallel}
+            if not isinstance(parallel, dict):
+                raise ValueError(
+                    "parallel must be a backend name, an option dict, or None; "
+                    f"got {parallel!r}"
+                )
+            name = parallel.get("backend", "simulated")
+            if name not in backend_names():
+                raise ValueError(
+                    f"parallel backend must be one of "
+                    f"{', '.join(backend_names())}; got {name!r}"
+                )
+        self.parallel = parallel
         self.mol = mol
         self.basis = basis
         self.frozen_core = frozen_core
@@ -239,12 +271,37 @@ class FCISolver:
             spin_operator=spin_op,
         )
         kwargs.update(overrides)
-        return HamiltonianOperator(problem, self.algorithm, **kwargs)
+        kernel: str = self.algorithm
+        if self.parallel is not None:
+            from ..parallel import ParallelSigma
+
+            popts = dict(self.parallel)
+            popts.setdefault("backend", "simulated")
+            kernel = ParallelSigma(
+                problem,
+                block_columns=self.block_columns,
+                telemetry=self.telemetry,
+                **popts,
+            )
+        return HamiltonianOperator(problem, kernel, **kwargs)
+
+    @staticmethod
+    def _close_kernel(sigma_fn: HamiltonianOperator) -> None:
+        """Shut down kernel-owned resources (the shm worker pool)."""
+        close = getattr(sigma_fn.kernel, "close", None)
+        if close is not None:
+            close()
 
     def run(self) -> FCIResult:
         """Execute the full pipeline and return the converged result."""
         problem, scf, mo = self.build_problem()
         sigma_fn = self.build_operator(problem)
+        try:
+            return self._run_solve(problem, scf, mo, sigma_fn)
+        finally:
+            self._close_kernel(sigma_fn)
+
+    def _run_solve(self, problem, scf, mo, sigma_fn) -> FCIResult:
         spin_op = sigma_fn._spin_op
 
         if self.model_space_size > 0:
@@ -337,15 +394,18 @@ class FCISolver:
             g = np.zeros(problem.dimension)
             g[precond.selection] = evecs[:, i]
             guesses.append(g.reshape(problem.shape))
-        res = davidson_multiroot(
-            sigma_fn,
-            guesses,
-            precond,
-            n_roots=n_roots,
-            energy_tol=self.energy_tol,
-            residual_tol=self.residual_tol,
-            max_iterations=self.max_iterations,
-        )
+        try:
+            res = davidson_multiroot(
+                sigma_fn,
+                guesses,
+                precond,
+                n_roots=n_roots,
+                energy_tol=self.energy_tol,
+                residual_tol=self.residual_tol,
+                max_iterations=self.max_iterations,
+            )
+        finally:
+            self._close_kernel(sigma_fn)
         return MultiRootFCIResult(
             energies=res.energies + mo.e_core,
             vectors=res.vectors,

@@ -1,5 +1,12 @@
-"""Parallel FCI on the simulated Cray-X1: numeric and trace drivers."""
+"""Parallel FCI: numeric and trace drivers on pluggable execution backends.
 
+The numeric driver (:class:`ParallelSigma`) runs the paper's rank
+decomposition either on the simulated Cray-X1 (virtual time) or on real
+OS processes over shared memory (:mod:`repro.parallel.shm`); the
+:class:`~repro.parallel.backend.Backend` protocol is the seam.
+"""
+
+from .backend import Backend, SigmaRun, backend_names, make_backend
 from .taskpool import Task, build_task_pool, pool_statistics
 from .pfci import ParallelReport, ParallelSigma
 from .trace import (
@@ -12,6 +19,10 @@ from .trace import (
 from .perfmodel import PerfModelRow, alpha_beta_model, measured_counts
 
 __all__ = [
+    "Backend",
+    "SigmaRun",
+    "backend_names",
+    "make_backend",
     "Task",
     "build_task_pool",
     "pool_statistics",

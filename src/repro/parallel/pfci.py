@@ -1,4 +1,4 @@
-"""Numeric-mode parallel DGEMM sigma on the simulated Cray-X1.
+"""Numeric-mode parallel DGEMM sigma, on a pluggable execution backend.
 
 Implements the paper's parallel strategy (section 3) with real arithmetic:
 
@@ -22,6 +22,16 @@ Implements the paper's parallel strategy (section 3) with real arithmetic:
 The result is bit-identical (to roundoff) with the serial
 :func:`repro.core.sigma_dgemm`, which the test suite enforces for many rank
 counts.
+
+Execution is delegated to a :class:`repro.parallel.backend.Backend`
+(``backend="simulated"`` — the discrete-event X1 above, or
+``backend="shm"`` — real OS processes over POSIX shared memory,
+:mod:`repro.parallel.shm`), chosen at construction with no algorithm
+changes; the shm path is additionally *bitwise*-identical to the serial
+kernel.  ``ParallelSigma`` also satisfies the
+:class:`repro.core.kernels.SigmaKernel` protocol, so it drops into
+:class:`repro.core.operator.HamiltonianOperator` and
+``FCISolver(..., parallel=...)`` like any serial kernel.
 
 Resilient mode (``faults=`` attached, or ``resilient=True``): every phase
 becomes a *named, tagged task* published with exactly-once DDI semantics
@@ -47,13 +57,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.kernels import same_spin_sigma
+from ..core.kernels import SigmaCounters, same_spin_sigma
 from ..core.plans import SigmaPlan
 from ..core.problem import CIProblem
-from ..obs.accounting import account_parallel_report
+from ..obs.accounting import account_parallel_report, account_sigma_dgemm
 from ..x1.ddi import DDIArray, DynamicLoadBalancer, block_ranges
 from ..x1.engine import Engine, RankStats, SymmetricHeap
 from ..x1.machine import X1Config
+from .backend import Backend, SigmaRun, make_backend
 from .taskpool import Task, build_task_pool, publish_pool_metrics
 
 __all__ = ["ParallelSigma", "ParallelReport"]
@@ -75,7 +86,10 @@ class ParallelReport:
 
     def merge(self, stats: list[RankStats], elapsed: float, imbalance: float) -> None:
         self.elapsed += elapsed
-        self.load_imbalance += imbalance
+        # worst imbalance over the merged calls: imbalance is a per-call
+        # statistic (max finish - mean finish), so summing it across calls
+        # would grow without bound and mean nothing
+        self.load_imbalance = max(self.load_imbalance, imbalance)
         self.bytes_communicated += sum(s.bytes_received + s.bytes_sent for s in stats)
         self.flops += sum(s.flops for s in stats)
         self.n_calls += 1
@@ -101,6 +115,14 @@ class ParallelSigma:
     default) sizes the column blocks with the plan's memory-budget
     heuristic, :meth:`SigmaPlan.default_block_columns`.
 
+    ``backend`` selects the execution substrate: ``"simulated"`` (the
+    discrete-event X1, default), ``"shm"`` (real OS processes over shared
+    memory; ``n_workers``/``blas_threads``/``shm_timeout`` configure the
+    pool), or a ready :class:`repro.parallel.backend.Backend` instance.
+    The shm backend holds worker processes until :meth:`close` (also a
+    context manager), and rejects ``faults``/``tracer`` — fault injection
+    and virtual-time traces are properties of the simulated machine.
+
     ``telemetry`` (a :class:`repro.obs.Telemetry`) routes per-call FLOP and
     byte accounting into its metrics registry; ``tracer`` (a
     :class:`repro.obs.tracer.SpanTracer`, defaulting to the telemetry's
@@ -113,8 +135,12 @@ class ParallelSigma:
     def __init__(
         self,
         problem: CIProblem,
-        config: X1Config,
+        config: X1Config | None = None,
         *,
+        backend: str | Backend = "simulated",
+        n_workers: int | None = None,
+        blas_threads: int = 1,
+        shm_timeout: float = 300.0,
         block_columns: int | None = None,
         n_fine_per_proc: int = 8,
         n_large_per_proc: int = 3,
@@ -125,8 +151,7 @@ class ParallelSigma:
         resilient: bool | None = None,
     ):
         self.problem = problem
-        self.config = config
-        # every simulated MSP replicates the problem's one precompiled plan
+        # every rank replicates the problem's one precompiled plan
         # (paper section 3: replicated integrals + coupling tables per rank)
         self.plan = SigmaPlan.for_problem(problem)
         self.block_columns = (
@@ -138,11 +163,51 @@ class ParallelSigma:
         self.tracer = tracer if tracer is not None else (telemetry.tracer if telemetry else None)
         self.faults = faults
         self.resilient = (faults is not None) if resilient is None else bool(resilient)
-        P = config.n_msps
+        if isinstance(backend, Backend):
+            self.backend = backend
+        elif backend == "simulated":
+            self.backend = make_backend(
+                "simulated", config=config if config is not None else X1Config()
+            )
+        else:
+            self.backend = make_backend(
+                backend,
+                n_workers=n_workers,
+                blas_threads=blas_threads,
+                timeout=shm_timeout,
+            )
+        if self.backend.name != "simulated":
+            if self.faults is not None or self.resilient:
+                raise ValueError(
+                    "fault injection / resilient mode require the simulated "
+                    f"backend (got backend={self.backend.name!r})"
+                )
+            if tracer is not None:
+                raise ValueError(
+                    "virtual-time span tracing requires the simulated backend "
+                    f"(got backend={self.backend.name!r})"
+                )
+        self.config = getattr(self.backend, "config", config)
+        self.report = ParallelReport()
+        if self.backend.name == "simulated":
+            self._build_simulated_decomposition(
+                n_fine_per_proc, n_large_per_proc, n_small_per_proc
+            )
+
+    def _build_simulated_decomposition(
+        self, n_fine_per_proc: int, n_large_per_proc: int, n_small_per_proc: int
+    ) -> None:
+        """Rank ranges, task pool, and gather metadata of the simulated X1.
+
+        The shm backend builds its own (column-block based) decomposition
+        inside :class:`repro.parallel.shm.ShmSigmaEngine`; everything here
+        belongs to the virtual machine's alpha-row distribution.
+        """
+        problem = self.problem
+        P = self.config.n_msps
         na, nb = problem.shape
         self.row_ranges = block_ranges(na, P)
         self.col_ranges = block_ranges(nb, P)
-        self.report = ParallelReport()
 
         # replicated tables come straight off the plan: the one-electron CSR
         # operators and the target-sorted mixed-spin halves are compiled once
@@ -280,12 +345,69 @@ class ParallelSigma:
 
     # -- main entry -----------------------------------------------------------
     def __call__(self, C: np.ndarray) -> np.ndarray:
+        na, nb = self.problem.shape
+        if C.shape != (na, nb):
+            raise ValueError(f"C must have shape {(na, nb)}")
+        run = self.backend.run_sigma(self, C)
+        self.report.merge(run.stats, run.elapsed, run.load_imbalance)
+        if self.telemetry:
+            one = ParallelReport()
+            one.merge(run.stats, run.elapsed, run.load_imbalance)
+            account_parallel_report(
+                self.telemetry.registry, one, self.backend.n_ranks
+            )
+        return run.sigma
+
+    def close(self) -> None:
+        """Release backend resources (the shm worker pool; simulated: no-op)."""
+        self.backend.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # -- SigmaKernel protocol --------------------------------------------------
+    # ParallelSigma drops into HamiltonianOperator (and therefore FCISolver)
+    # like any serial kernel; counters are fed from the report deltas the
+    # backends measure.
+    @property
+    def name(self) -> str:
+        return f"parallel-{self.backend.name}"
+
+    def make_counters(self) -> SigmaCounters:
+        return SigmaCounters()
+
+    def account(self, registry, counters, seconds: float, calls: int = 1):
+        return account_sigma_dgemm(registry, counters, seconds, calls=calls)
+
+    def apply(self, C: np.ndarray, counters: SigmaCounters | None = None) -> np.ndarray:
+        flops0 = self.report.flops
+        bytes0 = self.report.bytes_communicated
+        sigma = self(C)
+        if counters is not None:
+            counters.dgemm_flops += int(self.report.flops - flops0)
+            counters.dgemm_calls += 1
+            # one-sided traffic, reported as gather-side elements
+            counters.gather_elements += int(
+                (self.report.bytes_communicated - bytes0) / 8
+            )
+        return sigma
+
+    def apply_batch(
+        self, C_stack: np.ndarray, counters: SigmaCounters | None = None
+    ) -> np.ndarray:
+        C_stack = np.asarray(C_stack)
+        return np.stack([self.apply(C, counters) for C in C_stack])
+
+    # -- simulated execution (invoked through SimulatedBackend) ---------------
+    def _run_simulated(self, C: np.ndarray) -> SigmaRun:
         problem = self.problem
         cfg = self.config
         P = cfg.n_msps
         na, nb = problem.shape
-        if C.shape != (na, nb):
-            raise ValueError(f"C must have shape {(na, nb)}")
 
         heap = SymmetricHeap(P)
         fi = self.faults
@@ -294,7 +416,6 @@ class ParallelSigma:
         dlb = DynamicLoadBalancer(heap)
         for r, (lo, hi) in enumerate(self.row_ranges):
             Cd.set_local(r, C[lo:hi])
-        n_tasks = len(self.tasks)
 
         if self.resilient:
             program = self._resilient_program(Cd, Sd, dlb, heap)
@@ -303,17 +424,17 @@ class ParallelSigma:
 
         engine = Engine(cfg, heap, tracer=self.tracer, faults=fi)
         stats = engine.run([program] * P)
-        self.report.merge(stats, engine.elapsed(), engine.load_imbalance())
-        if self.telemetry:
-            run = ParallelReport()
-            run.merge(stats, engine.elapsed(), engine.load_imbalance())
-            account_parallel_report(self.telemetry.registry, run, P)
 
         sigma = np.empty_like(C)
         for r, (lo, hi) in enumerate(self.row_ranges):
             if hi > lo:
                 sigma[lo:hi] = Sd.local_block(r)
-        return sigma
+        return SigmaRun(
+            sigma=sigma,
+            stats=stats,
+            elapsed=engine.elapsed(),
+            load_imbalance=engine.load_imbalance(),
+        )
 
     # -- fault-free program (the default; schedule is bit-stable) ------------
     def _program(self, Cd: DDIArray, Sd: DDIArray, dlb: DynamicLoadBalancer):

@@ -1,0 +1,15 @@
+"""Real shared-memory execution backend for the parallel sigma.
+
+The paper's decomposition on actual OS processes: POSIX shared-memory
+segments for the distributed arrays (:mod:`~repro.parallel.shm.comm`), a
+persistent spawned worker pool executing the rank programs
+(:mod:`~repro.parallel.shm.worker`), and the engine that coordinates them
+and reduces the owned segments deterministically
+(:mod:`~repro.parallel.shm.engine`).  Selected via
+``ParallelSigma(..., backend="shm")``.
+"""
+
+from .comm import ShmComm, ShmCommSpec
+from .engine import ShmSigmaEngine
+
+__all__ = ["ShmComm", "ShmCommSpec", "ShmSigmaEngine"]

@@ -1,0 +1,191 @@
+"""Worker process for the shared-memory sigma engine.
+
+Each worker is one *rank* of the paper's decomposition, executing on a
+real OS process what the simulated MSPs execute in virtual time:
+
+* attach to the parent's :class:`~repro.parallel.shm.comm.ShmComm`
+  segments (the pickled :class:`~repro.core.plans.SigmaPlan` arrives once,
+  through the spawn args — the paper's replicated coupling tables),
+* **one-electron** terms: rank 0 only, operand-for-operand the serial
+  ``DgemmKernel.apply_batch`` prologue, stored into the owned ``one``
+  segment,
+* **alpha-alpha** / **beta-beta** same-spin terms: statically balanced
+  round-robin over the kernel's canonical column blocks, written into the
+  owned windows of the ``aa`` / ``bb`` segments,
+* **mixed-spin** term: dynamically load-balanced spans of column blocks
+  claimed through ``fetch_add`` (the DLB counter), scattered into the
+  ``mix`` segment — tasks own disjoint column spans, so no locking.
+
+Because every block is a *whole* canonical column block, each DGEMM sees
+exactly the operands the serial kernel would give it, and the parent's
+left-to-right reduction of the four owned segments reproduces the serial
+accumulation order — which together make the result bitwise-identical to
+``sigma_dgemm`` for any worker count.
+
+BLAS threading is pinned per worker (env vars set by the parent before
+spawn; :mod:`threadpoolctl` tightened here when available) so P workers
+don't oversubscribe P*threads cores.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+
+import numpy as np
+
+from ...core.kernels import (
+    SigmaCounters,
+    _alpha_layout,
+    _beta_layout,
+    mixed_spin_sigma_stack,
+    same_spin_sigma_stack,
+)
+from .comm import ShmComm, ShmCommSpec
+
+__all__ = ["worker_main"]
+
+
+def _pin_blas_threads(n: int):
+    """Best-effort runtime cap on BLAS pool size (env vars already set).
+
+    Returns the threadpoolctl limiter (kept alive for the process
+    lifetime) or None when threadpoolctl isn't installed — the env-var
+    pinning the parent applied before spawn still holds either way.
+    """
+    try:
+        from threadpoolctl import threadpool_limits
+    except ImportError:
+        return None
+    try:
+        return threadpool_limits(limits=n)
+    except Exception:
+        return None
+
+
+def _run_sigma(rank: int, comm: ShmComm, payload: dict) -> dict:
+    """One sigma evaluation; returns the rank's wall-clock stats."""
+    plan = payload["plan"]
+    bc = payload["block_columns"]
+    n_workers = payload["n_workers"]
+    aa_blocks = payload["aa_blocks"]
+    bb_blocks = payload["bb_blocks"]
+    tasks = payload["tasks"]
+    na, nb = plan.shape
+
+    counters = SigmaCounters()
+    phase_times: dict[str, float] = {}
+    t_start = time.perf_counter()
+
+    C_stack = comm.get("C")[None]  # (1, na, nb) window, zero-copy
+
+    # one-electron alpha + beta: rank 0, exactly the serial prologue
+    if rank == 0:
+        t0 = time.perf_counter()
+        one = np.asarray(plan.Ta @ _alpha_layout(C_stack))
+        one = one.reshape(na, 1, nb).transpose(1, 0, 2)
+        one = one + np.asarray(
+            plan.Tb @ _beta_layout(C_stack)
+        ).reshape(nb, 1, na).transpose(1, 2, 0)
+        comm.get("one")[...] = one[0]
+        phase_times["one-electron"] = time.perf_counter() - t0
+
+    # alpha-alpha doubles: this rank's round-robin share of the beta-axis
+    # column blocks, stored into disjoint owned windows of `aa`
+    my_aa = aa_blocks[rank::n_workers]
+    if plan.same_a is not None and my_aa:
+        t0 = time.perf_counter()
+        same_spin_sigma_stack(
+            plan.same_a,
+            plan.w_matrix,
+            C_stack,
+            bc,
+            counters,
+            col_blocks=my_aa,
+            out=comm.get("aa")[None],
+        )
+        phase_times["alpha-alpha"] = time.perf_counter() - t0
+
+    # beta-beta doubles on the transposed stack (paper Fig. 2a), blocks
+    # over the alpha axis
+    my_bb = bb_blocks[rank::n_workers]
+    if plan.same_b is not None and my_bb:
+        t0 = time.perf_counter()
+        rows_stack = np.ascontiguousarray(C_stack.transpose(0, 2, 1))
+        same_spin_sigma_stack(
+            plan.same_b,
+            plan.w_matrix,
+            rows_stack,
+            bc,
+            counters,
+            col_blocks=my_bb,
+            out=comm.get("bb")[None],
+        )
+        phase_times["beta-beta"] = time.perf_counter() - t0
+
+    # mixed-spin: dynamic task pool over column-block spans
+    t0 = time.perf_counter()
+    mix_out = comm.get("mix")[None]
+    n_tasks_done = 0
+    while True:
+        tid = comm.fetch_add()
+        if tid >= len(tasks):
+            break
+        blo, bhi = tasks[tid]
+        mixed_spin_sigma_stack(
+            plan,
+            C_stack,
+            bc,
+            counters,
+            col_blocks=aa_blocks[blo:bhi],
+            out=mix_out,
+        )
+        n_tasks_done += 1
+    phase_times["alpha-beta"] = time.perf_counter() - t0
+
+    comm.quiet()  # all owned-segment stores complete before we report done
+    busy = time.perf_counter() - t_start
+    return {
+        "phase_times": phase_times,
+        "busy": busy,
+        "tasks_done": n_tasks_done,
+        **counters.as_dict(),
+    }
+
+
+def worker_main(rank: int, conn, spec: ShmCommSpec, payload: dict) -> None:
+    """Entry point of a spawned worker: attach, handshake, serve requests.
+
+    Pipe protocol (parent -> worker): ``("sigma", seq)`` evaluate one
+    sigma; ``("stop",)`` exit.  Replies: ``("ready", rank)`` after attach,
+    then ``("done", seq, stats)`` or ``("error", seq, traceback_text)``.
+    """
+    limiter = _pin_blas_threads(payload.get("blas_threads", 1))  # noqa: F841
+    comm = None
+    try:
+        comm = ShmComm.attach(spec)
+        conn.send(("ready", rank))
+        comm.barrier(payload.get("timeout"))
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            if msg[0] == "stop":
+                break
+            if msg[0] == "sigma":
+                seq = msg[1]
+                try:
+                    stats = _run_sigma(rank, comm, payload)
+                    conn.send(("done", seq, stats))
+                except Exception:
+                    conn.send(("error", seq, traceback.format_exc()))
+    except Exception:
+        try:
+            conn.send(("fatal", rank, traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        if comm is not None:
+            comm.close()
+        conn.close()

@@ -2,24 +2,14 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.molecule import Molecule
 from repro.scf import compute_ao_integrals, rhf, transform
-from repro.scf.mo import MOIntegrals
 
-
-def make_random_mo(n: int, seed: int = 0) -> MOIntegrals:
-    """Random but physically-symmetric MO integrals (test Hamiltonians)."""
-    rng = np.random.default_rng(seed)
-    h = rng.standard_normal((n, n))
-    h = 0.5 * (h + h.T)
-    g = rng.standard_normal((n, n, n, n))
-    g = g + g.transpose(1, 0, 2, 3)
-    g = g + g.transpose(0, 1, 3, 2)
-    g = g + g.transpose(2, 3, 0, 1)
-    return MOIntegrals(h=h, g=g, e_core=0.0, n_orbitals=n)
+# builders live in tests.helpers; re-exported here because many test files
+# (and prototypes) import make_random_mo from tests.conftest
+from tests.helpers import make_random_mo  # noqa: F401
 
 
 @pytest.fixture(scope="session")

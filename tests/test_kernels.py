@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    CIProblem,
     DgemmKernel,
     FCISolver,
     HamiltonianOperator,
@@ -18,46 +17,23 @@ from repro.core import (
     sigma_dgemm,
     sigma_moc,
 )
-from repro.molecule import PointGroup
-from repro.scf.mo import MOIntegrals
-from tests.conftest import make_random_mo
-
-
-def stack_of_vectors(problem, k, seed=0):
-    return np.stack([problem.random_vector(seed + i) for i in range(k)])
-
-
-def model_space_guesses(problem, pre, n):
-    ev, evec = np.linalg.eigh(pre.h_model)
-    out = []
-    for i in range(n):
-        g = np.zeros(problem.dimension)
-        g[pre.selection] = evec[:, i]
-        out.append(g.reshape(problem.shape))
-    return out
+from tests.helpers import (
+    make_random_problem,
+    make_symmetry_problem,
+    model_space_guesses,
+    stack_of_vectors,
+)
 
 
 @pytest.fixture(scope="module")
 def problem():
     # asymmetric space (na != nb, open shell) exercises all four sigma terms
-    mo = make_random_mo(6, seed=7)
-    mo.h += np.diag(np.linspace(-2, 2, 6))
-    return CIProblem(mo, 3, 2)
+    return make_random_problem(6, 3, 2, seed=7, diag=np.linspace(-2, 2, 6))
 
 
 @pytest.fixture(scope="module")
 def sym_problem():
-    rng = np.random.default_rng(5)
-    mo = make_random_mo(6, seed=19)
-    pt = PointGroup.get("C2v").product_table()
-    mo = MOIntegrals(
-        h=mo.h,
-        g=mo.g,
-        e_core=0.0,
-        n_orbitals=6,
-        orbital_irreps=rng.integers(0, 4, size=6),
-    )
-    return CIProblem(mo, 3, 3, target_irrep=0, product_table=pt)
+    return make_symmetry_problem(6, 3, 3, seed=19)
 
 
 class TestBatchedBitwise:
@@ -75,7 +51,7 @@ class TestBatchedBitwise:
 
     @pytest.mark.parametrize("kernel_cls", [DgemmKernel, MocKernel])
     def test_batch_equals_loop_closed_shell(self, kernel_cls):
-        prob = CIProblem(make_random_mo(5, seed=2), 2, 2)
+        prob = make_random_problem(5, 2, 2, seed=2)
         kern = kernel_cls(SigmaPlan.for_problem(prob))
         C = stack_of_vectors(prob, 3, seed=10)
         batch = kern.apply_batch(C, kern.make_counters())

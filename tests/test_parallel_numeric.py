@@ -3,17 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.core import CIProblem, ModelSpacePreconditioner, davidson_solve, sigma_dgemm
-from repro.parallel import ParallelSigma
+from repro.core import ModelSpacePreconditioner, davidson_solve, sigma_dgemm
+from repro.parallel import ParallelReport, ParallelSigma
 from repro.x1 import X1Config
-from tests.conftest import make_random_mo
+from repro.x1.engine import RankStats
+from tests.helpers import make_random_problem
 
 
 @pytest.fixture(scope="module")
 def problem():
-    mo = make_random_mo(6, seed=31)
-    mo.h += np.diag(np.linspace(-3, 2, 6)) * 2
-    return CIProblem(mo, 3, 3)
+    return make_random_problem(6, 3, 3, seed=31, diag=np.linspace(-3, 2, 6) * 2)
 
 
 class TestParallelSigma:
@@ -26,8 +25,7 @@ class TestParallelSigma:
         assert np.max(np.abs(out - ref)) < 1e-10
 
     def test_open_shell(self):
-        mo = make_random_mo(5, seed=3)
-        prob = CIProblem(mo, 3, 1)
+        prob = make_random_problem(5, 3, 1, seed=3)
         C = prob.random_vector(1)
         ref = sigma_dgemm(prob, C)
         out = ParallelSigma(prob, X1Config(n_msps=3))(C)
@@ -55,12 +53,55 @@ class TestParallelSigma:
             ps(np.zeros((2, 2)))
 
     def test_more_ranks_than_rows(self):
-        mo = make_random_mo(4, seed=9)
-        prob = CIProblem(mo, 2, 2)  # 6x6
+        prob = make_random_problem(4, 2, 2, seed=9)  # 6x6
         C = prob.random_vector(0)
         ref = sigma_dgemm(prob, C)
         out = ParallelSigma(prob, X1Config(n_msps=8))(C)
         assert np.max(np.abs(out - ref)) < 1e-10
+
+
+class TestParallelReportMerge:
+    """merge() is called once per sigma; statistics must stay meaningful."""
+
+    @staticmethod
+    def _stats(finish_times):
+        return [
+            RankStats(flops=100.0, bytes_sent=8.0, bytes_received=8.0,
+                      finish_time=t, phase_times={"alpha-beta": t})
+            for t in finish_times
+        ]
+
+    def test_load_imbalance_is_max_not_sum(self):
+        report = ParallelReport()
+        report.merge(self._stats([1.0, 2.0]), elapsed=2.0, imbalance=0.5)
+        report.merge(self._stats([1.0, 1.2]), elapsed=1.2, imbalance=0.1)
+        report.merge(self._stats([1.0, 1.8]), elapsed=1.8, imbalance=0.4)
+        # worst call dominates; a sum would give 1.0 here and grow without
+        # bound as calls accumulate
+        assert report.load_imbalance == 0.5
+        assert report.n_calls == 3
+
+    def test_additive_fields_still_accumulate(self):
+        report = ParallelReport()
+        report.merge(self._stats([1.0]), elapsed=1.0, imbalance=0.0)
+        report.merge(self._stats([2.0]), elapsed=2.0, imbalance=0.0)
+        assert report.elapsed == 3.0
+        assert report.flops == 200.0
+        assert report.bytes_communicated == 32.0
+        assert report.phase_times["alpha-beta"] == 3.0
+
+    def test_real_runs_keep_imbalance_bounded(self, problem):
+        C = problem.random_vector(2)
+        once = ParallelSigma(problem, X1Config(n_msps=4))
+        once(C)
+        single = once.report.load_imbalance
+        thrice = ParallelSigma(problem, X1Config(n_msps=4))
+        for _ in range(3):
+            thrice(C)
+        # deterministic schedule: every call has the same imbalance, and the
+        # merged statistic must equal it (a sum would triple it)
+        assert thrice.report.load_imbalance == single
+        assert thrice.report.n_calls == 3
 
 
 class TestParallelEigensolve:

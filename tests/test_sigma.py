@@ -13,7 +13,7 @@ from repro.core import (
     sigma_dgemm,
     sigma_moc,
 )
-from tests.conftest import make_random_mo
+from tests.helpers import make_random_problem
 
 
 @pytest.fixture(scope="module")
@@ -21,9 +21,8 @@ def cases():
     """(problem, dense H) pairs covering even/odd, open/closed shells."""
     out = []
     for n, na, nb, seed in [(5, 2, 2, 1), (5, 3, 2, 2), (4, 2, 1, 3), (5, 4, 4, 4), (4, 1, 0, 5)]:
-        mo = make_random_mo(n, seed=seed)
-        prob = CIProblem(mo, na, nb)
-        H = build_dense_hamiltonian(mo, prob.space_a, prob.space_b)
+        prob = make_random_problem(n, na, nb, seed=seed)
+        H = build_dense_hamiltonian(prob.mo, prob.space_a, prob.space_b)
         out.append((prob, H))
     return out
 
@@ -79,9 +78,8 @@ class TestSigmaDGEMM:
     @given(st.integers(0, 10_000))
     @settings(max_examples=15, deadline=None)
     def test_random_vectors_match_dense(self, seed):
-        mo = make_random_mo(4, seed=99)
-        prob = CIProblem(mo, 2, 2)
-        H = build_dense_hamiltonian(mo, prob.space_a, prob.space_b)
+        prob = make_random_problem(4, 2, 2, seed=99)
+        H = build_dense_hamiltonian(prob.mo, prob.space_a, prob.space_b)
         C = np.random.default_rng(seed).standard_normal(prob.shape)
         ref = (H @ C.ravel()).reshape(prob.shape)
         assert np.max(np.abs(sigma_dgemm(prob, C) - ref)) < 1e-10

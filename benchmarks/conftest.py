@@ -6,6 +6,12 @@ human-readable text as ``<name>.txt`` and a structured ``<name>.json``
 (schema: name, timestamp, text, rows, metrics) so downstream tooling can
 diff GF-rates and communication volumes across runs without re-parsing
 tables.
+
+Gated perf-trajectory results (names starting with ``BENCH_``) are
+additionally written as canonical root-level ``BENCH_<name>.json`` files:
+``benchmarks/results/`` is gitignored scratch space, while the root-level
+copies are committed and uploaded as CI artifacts, so the perf trajectory
+survives across PRs.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import pytest
 from repro.molecule import Molecule
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
 def write_result(
@@ -32,7 +39,8 @@ def write_result(
 
     ``rows`` is the (paper, measured) comparison table as plain data;
     ``metrics`` is a metrics snapshot (e.g. ``Telemetry.snapshot()`` or any
-    JSON-serializable dict).  Returns the paths written.
+    JSON-serializable dict).  Gated results (``BENCH_*``) also land as a
+    canonical JSON at the repository root.  Returns the paths written.
     """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     txt_path = RESULTS_DIR / f"{name}.txt"
@@ -44,10 +52,16 @@ def write_result(
         "rows": rows,
         "metrics": metrics,
     }
+    blob = json.dumps(payload, indent=2, default=str) + "\n"
     json_path = RESULTS_DIR / f"{name}.json"
-    json_path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    json_path.write_text(blob)
+    paths = [txt_path, json_path]
+    if name.startswith("BENCH_"):
+        root_path = REPO_ROOT / f"{name}.json"
+        root_path.write_text(blob)
+        paths.append(root_path)
     print("\n" + text)
-    return [txt_path, json_path]
+    return paths
 
 
 @pytest.fixture(scope="session")

@@ -116,6 +116,11 @@ def auto_adjusted_solve(
             rnorms = list(state.residual_norms)
             n_sigma = state.n_sigma
             start_it = state.iteration
+            if energies:
+                # seed the result energy so a resume whose iteration budget
+                # is already exhausted reports the checkpointed energy
+                # instead of a fresh 0.0
+                e = float(energies[-1])
 
     def on_fallback(reason: str) -> None:
         if telemetry:
@@ -123,6 +128,8 @@ def auto_adjusted_solve(
             telemetry.registry.counter(f"faults.detected.{reason}").inc()
 
     guard = IterateGuard(divergence_threshold, telemetry=telemetry)
+    last_state: CheckpointState | None = None
+    last_saved = True
     for it in range(start_it + 1, max_iterations + 1):
         sigma = sigma_fn(C)
         n_sigma += 1
@@ -138,6 +145,21 @@ def auto_adjusted_solve(
             and abs(e - prev["energy"]) < energy_tol
             and rnorm < residual_tol
         ):
+            if checkpoint is not None:
+                # converged states may fall off the ``every`` grid; force
+                # the save so the final answer is always durable
+                checkpoint.maybe_save(
+                    CheckpointState(
+                        method="auto",
+                        iteration=it,
+                        n_sigma=n_sigma,
+                        vector=C,
+                        meta={"prev": prev, "lambda": lam},
+                        energies=energies,
+                        residual_norms=rnorms,
+                    ),
+                    force=True,
+                )
             return SolveResult(
                 energy=e,
                 vector=C,
@@ -182,18 +204,20 @@ def auto_adjusted_solve(
         }
         C = new / np.sqrt(nrm2)
         if checkpoint is not None:
-            checkpoint.maybe_save(
-                CheckpointState(
-                    method="auto",
-                    iteration=it,
-                    n_sigma=n_sigma,
-                    vector=C,
-                    meta={"prev": prev, "lambda": lam},
-                    energies=energies,
-                    residual_norms=rnorms,
-                )
+            last_state = CheckpointState(
+                method="auto",
+                iteration=it,
+                n_sigma=n_sigma,
+                vector=C,
+                meta={"prev": prev, "lambda": lam},
+                energies=energies,
+                residual_norms=rnorms,
             )
+            last_saved = checkpoint.maybe_save(last_state)
 
+    if checkpoint is not None and last_state is not None and not last_saved:
+        # the budget ran out on an off-grid iteration: keep the final state
+        checkpoint.maybe_save(last_state, force=True)
     return SolveResult(
         energy=e,
         vector=C,

@@ -83,9 +83,14 @@ class Checkpointer:
         if os.path.exists(self.path):
             os.remove(self.path)
 
-    def maybe_save(self, state: CheckpointState) -> bool:
-        """Save if the iteration falls on the ``every`` grid."""
-        if state.iteration % self.every:
+    def maybe_save(self, state: CheckpointState, *, force: bool = False) -> bool:
+        """Save if the iteration falls on the ``every`` grid.
+
+        ``force=True`` bypasses the grid — used by the solvers on
+        convergence and at loop exit so the *final* state is always durable
+        even when it lands off the ``every`` grid.
+        """
+        if not force and state.iteration % self.every:
             return False
         self.save(state)
         return True

@@ -73,10 +73,16 @@ def davidson_solve(
             rnorms = list(state.residual_norms)
             n_sigma = state.n_sigma
             start_it = state.iteration
+            if energies:
+                # seed the result energy so a resume whose iteration budget
+                # is already exhausted reports the checkpointed energy
+                e = float(energies[-1])
     basis: list[np.ndarray] = [v]
     sigmas: list[np.ndarray] = []
     ritz = v
     guard = IterateGuard(divergence_threshold, telemetry=telemetry)
+    last_state: CheckpointState | None = None
+    last_saved = True
     for it in range(start_it + 1, max_iterations + 1):
         # evaluate sigma of the newest basis vector
         sigmas.append(sigma_fn(basis[-1].reshape(shape)).ravel())
@@ -99,20 +105,22 @@ def davidson_solve(
         if telemetry:
             telemetry.solver_iteration("davidson", it, e, rnorm, subspace=k)
         guard.check(it, e, rnorm)
+        converged = abs(e - prev_e) < energy_tol and rnorm < residual_tol
         if checkpoint is not None:
             nrm = float(np.linalg.norm(ritz))
-            checkpoint.maybe_save(
-                CheckpointState(
-                    method="davidson",
-                    iteration=it,
-                    n_sigma=n_sigma,
-                    vector=(ritz / nrm).reshape(shape) if nrm else ritz.reshape(shape),
-                    meta={"prev_e": e},
-                    energies=energies,
-                    residual_norms=rnorms,
-                )
+            last_state = CheckpointState(
+                method="davidson",
+                iteration=it,
+                n_sigma=n_sigma,
+                vector=(ritz / nrm).reshape(shape) if nrm else ritz.reshape(shape),
+                meta={"prev_e": e},
+                energies=energies,
+                residual_norms=rnorms,
             )
-        if abs(e - prev_e) < energy_tol and rnorm < residual_tol:
+            # converged states may fall off the ``every`` grid; force the
+            # save so the final answer is always durable
+            last_saved = checkpoint.maybe_save(last_state, force=converged)
+        if converged:
             return SolveResult(
                 energy=e,
                 vector=ritz.reshape(shape),
@@ -141,6 +149,8 @@ def davidson_solve(
         tnorm = np.linalg.norm(t)
         if tnorm < 1e-14:
             # subspace is numerically exhausted: converged as far as possible
+            if checkpoint is not None and last_state is not None and not last_saved:
+                checkpoint.maybe_save(last_state, force=True)
             return SolveResult(
                 energy=e,
                 vector=ritz.reshape(shape),
@@ -152,6 +162,9 @@ def davidson_solve(
                 method="davidson",
             )
         basis.append(t / tnorm)
+    if checkpoint is not None and last_state is not None and not last_saved:
+        # the budget ran out on an off-grid iteration: keep the final state
+        checkpoint.maybe_save(last_state, force=True)
     return SolveResult(
         energy=e,
         vector=ritz.reshape(shape),

@@ -111,6 +111,8 @@ def olsen_solve(
             n_sigma = state.n_sigma
             start_it = state.iteration
     guard = IterateGuard(divergence_threshold, telemetry=telemetry)
+    last_state: CheckpointState | None = None
+    last_saved = True
     for it in range(start_it + 1, max_iterations + 1):
         sigma = sigma_fn(C)
         n_sigma += 1
@@ -122,6 +124,21 @@ def olsen_solve(
             telemetry.solver_iteration("olsen", it, e, rnorm, lam=step)
         guard.check(it, e, rnorm)
         if abs(e - prev_e) < energy_tol and rnorm < residual_tol:
+            if checkpoint is not None:
+                # converged states may fall off the ``every`` grid; force
+                # the save so the final answer is always durable
+                checkpoint.maybe_save(
+                    CheckpointState(
+                        method="olsen",
+                        iteration=it,
+                        n_sigma=n_sigma,
+                        vector=C,
+                        meta={"prev_e": e, "step": step},
+                        energies=energies,
+                        residual_norms=rnorms,
+                    ),
+                    force=True,
+                )
             return SolveResult(
                 energy=e,
                 vector=C,
@@ -137,19 +154,23 @@ def olsen_solve(
         C = C + step * t
         C /= np.linalg.norm(C)
         if checkpoint is not None:
-            checkpoint.maybe_save(
-                CheckpointState(
-                    method="olsen",
-                    iteration=it,
-                    n_sigma=n_sigma,
-                    vector=C,
-                    meta={"prev_e": prev_e, "step": step},
-                    energies=energies,
-                    residual_norms=rnorms,
-                )
+            last_state = CheckpointState(
+                method="olsen",
+                iteration=it,
+                n_sigma=n_sigma,
+                vector=C,
+                meta={"prev_e": prev_e, "step": step},
+                energies=energies,
+                residual_norms=rnorms,
             )
+            last_saved = checkpoint.maybe_save(last_state)
+    if checkpoint is not None and last_state is not None and not last_saved:
+        # the budget ran out on an off-grid iteration: keep the final state
+        checkpoint.maybe_save(last_state, force=True)
     return SolveResult(
-        energy=energies[-1],
+        # a resume whose iteration budget is already exhausted must report
+        # the checkpointed energy, not crash on an empty history
+        energy=energies[-1] if energies else 0.0,
         vector=C,
         converged=False,
         n_iterations=max_iterations,

@@ -198,7 +198,11 @@ class FCISolver:
     def build_problem(self) -> tuple[CIProblem, SCFResult, MOIntegrals]:
         """Run SCF, transform integrals, and build the CI problem."""
         if self._ao is None:
-            self._ao = compute_ao_integrals(self.mol, self.basis)
+            self._ao = compute_ao_integrals(
+                self.mol,
+                self.basis,
+                registry=self.telemetry.registry if self.telemetry else None,
+            )
         ao = self._ao
 
         group = None

@@ -1,18 +1,23 @@
 """Molecular integrals over contracted Cartesian Gaussians."""
 
-from .boys import boys, boys_array
-from .hermite import hermite_coulomb, hermite_expansion
+from .boys import boys, boys_array, boys_array_batch
+from .hermite import hermite_coulomb, hermite_coulomb_batch, hermite_expansion
 from .one_electron import core_hamiltonian, kinetic, nuclear_attraction, overlap
-from .two_electron import eri
+from .two_electron import EriStats, IntegralEngine, eri, eri_reference
 
 __all__ = [
     "boys",
     "boys_array",
+    "boys_array_batch",
     "hermite_coulomb",
+    "hermite_coulomb_batch",
     "hermite_expansion",
     "core_hamiltonian",
     "kinetic",
     "nuclear_attraction",
     "overlap",
     "eri",
+    "eri_reference",
+    "EriStats",
+    "IntegralEngine",
 ]

@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.special import hyp1f1
 
-__all__ = ["boys", "boys_array"]
+__all__ = ["boys", "boys_array", "boys_array_batch"]
 
 
 def boys(n: int, x: float) -> float:
@@ -37,6 +37,26 @@ def boys_array(nmax: int, x: float) -> np.ndarray:
         raise ValueError("Boys function argument must be non-negative")
     out = np.empty(nmax + 1)
     out[nmax] = boys(nmax, x)
+    if nmax > 0:
+        ex = np.exp(-x)
+        for n in range(nmax, 0, -1):
+            out[n - 1] = (2.0 * x * out[n] + ex) / (2 * n - 1)
+    return out
+
+
+def boys_array_batch(nmax: int, x: np.ndarray) -> np.ndarray:
+    """Boys values F_0..F_nmax for a whole batch of arguments at once.
+
+    ``x`` has shape (N,); the result has shape (nmax+1, N).  The top order is
+    one vectorized ``hyp1f1`` evaluation and lower orders follow by the same
+    downward recursion as :func:`boys_array`, so each column matches the
+    scalar routine elementwise.
+    """
+    x = np.asarray(x, dtype=float)
+    if np.any(x < 0):
+        raise ValueError("Boys function argument must be non-negative")
+    out = np.empty((nmax + 1, x.size))
+    out[nmax] = hyp1f1(nmax + 0.5, nmax + 1.5, -x) / (2 * nmax + 1)
     if nmax > 0:
         ex = np.exp(-x)
         for n in range(nmax, 0, -1):

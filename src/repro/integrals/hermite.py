@@ -14,9 +14,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from .boys import boys_array
+from .boys import boys_array, boys_array_batch
 
-__all__ = ["hermite_expansion", "hermite_coulomb"]
+__all__ = ["hermite_expansion", "hermite_coulomb", "hermite_coulomb_batch"]
 
 
 def hermite_expansion(li: int, lj: int, a: float, b: float, ab_x: float) -> np.ndarray:
@@ -110,3 +110,55 @@ def hermite_coulomb(lmax: int, p: float, pc: np.ndarray) -> np.ndarray:
                             n + 1, t, u, v - 1
                         ]
     return Rn[0]
+
+
+def hermite_coulomb_batch(lmax: int, p: np.ndarray, pc: np.ndarray) -> np.ndarray:
+    """R^0_{tuv} for a batch of (exponent, PC-vector) pairs in one sweep.
+
+    ``p`` has shape (N,) and ``pc`` shape (N, 3); the result has shape
+    (N, lmax+1, lmax+1, lmax+1) with entry ``[i]`` equal to
+    ``hermite_coulomb(lmax, p[i], pc[i])`` up to elementwise-identical
+    arithmetic: the recurrences below are the scalar ones applied to (N,)
+    slices, so each lattice entry sees the same operation sequence.
+
+    This is the vector spine of the batched ERI engine: one ``hyp1f1``
+    ufunc call seeds the whole batch instead of one Python-level Boys
+    evaluation per primitive quad.
+    """
+    p = np.asarray(p, dtype=float)
+    pc = np.asarray(pc, dtype=float)
+    x, y, z = pc[:, 0], pc[:, 1], pc[:, 2]
+    r2 = x * x + y * y + z * z
+    fvals = boys_array_batch(lmax, p * r2)  # (lmax+1, N)
+    n_batch = p.size
+    Rn = np.zeros((lmax + 1, lmax + 1, lmax + 1, lmax + 1, n_batch))
+    minus_2p = -2.0 * p
+    for n in range(lmax + 1):
+        Rn[n, 0, 0, 0] = (minus_2p**n) * fvals[n]
+    for n in range(lmax - 1, -1, -1):
+        budget = lmax - n
+        for t in range(1, budget + 1):
+            if t == 1:
+                Rn[n, 1, 0, 0] = x * Rn[n + 1, 0, 0, 0]
+            else:
+                Rn[n, t, 0, 0] = (t - 1) * Rn[n + 1, t - 2, 0, 0] + x * Rn[
+                    n + 1, t - 1, 0, 0
+                ]
+        for t in range(0, budget + 1):
+            for u in range(1, budget - t + 1):
+                if u == 1:
+                    Rn[n, t, 1, 0] = y * Rn[n + 1, t, 0, 0]
+                else:
+                    Rn[n, t, u, 0] = (u - 1) * Rn[n + 1, t, u - 2, 0] + y * Rn[
+                        n + 1, t, u - 1, 0
+                    ]
+        for t in range(0, budget + 1):
+            for u in range(0, budget - t + 1):
+                for v in range(1, budget - t - u + 1):
+                    if v == 1:
+                        Rn[n, t, u, 1] = z * Rn[n + 1, t, u, 0]
+                    else:
+                        Rn[n, t, u, v] = (v - 1) * Rn[n + 1, t, u, v - 2] + z * Rn[
+                            n + 1, t, u, v - 1
+                        ]
+    return np.moveaxis(Rn[0], -1, 0)

@@ -39,8 +39,28 @@ def _shell_pair_tables(sa: Shell, sb: Shell, extra: int = 0):
     return out
 
 
-def overlap(basis: BasisSet) -> np.ndarray:
-    """Overlap matrix S over Cartesian basis functions."""
+def _cached_pair_tables(cache, ia: int, ib: int, extra: int, sa: Shell, sb: Shell):
+    """Shell-pair Hermite tables, memoized in ``cache`` when one is given.
+
+    ``cache`` is any mutable mapping keyed by (ia, ib, extra) — typically
+    owned by an :class:`repro.integrals.two_electron.IntegralEngine`, so
+    overlap and nuclear-attraction assemblies (both ``extra=0``) share one
+    set of tables.
+    """
+    if cache is None:
+        return _shell_pair_tables(sa, sb, extra)
+    key = (ia, ib, extra)
+    if key not in cache:
+        cache[key] = _shell_pair_tables(sa, sb, extra)
+    return cache[key]
+
+
+def overlap(basis: BasisSet, *, pair_tables=None) -> np.ndarray:
+    """Overlap matrix S over Cartesian basis functions.
+
+    ``pair_tables`` is an optional mutable mapping memoizing the Hermite E
+    tables across the one-electron routines (see :func:`_cached_pair_tables`).
+    """
     n = basis.nbf
     S = np.zeros((n, n))
     offs = basis.shell_offsets
@@ -52,7 +72,7 @@ def overlap(basis: BasisSet) -> np.ndarray:
                 continue
             cb_comps = cartesian_components(sb.l)
             nb = _component_norms(sb)
-            pairs = _shell_pair_tables(sa, sb)
+            pairs = _cached_pair_tables(pair_tables, ia, ib, 0, sa, sb)
             block = np.zeros((len(ca_comps), len(cb_comps)))
             for cc, a, b, p, P, (Ex, Ey, Ez) in pairs:
                 pref = cc * (math.pi / p) ** 1.5
@@ -73,7 +93,7 @@ def overlap(basis: BasisSet) -> np.ndarray:
     return S
 
 
-def kinetic(basis: BasisSet) -> np.ndarray:
+def kinetic(basis: BasisSet, *, pair_tables=None) -> np.ndarray:
     """Kinetic-energy matrix T = <mu| -1/2 nabla^2 |nu>."""
     n = basis.nbf
     T = np.zeros((n, n))
@@ -90,7 +110,7 @@ def kinetic(basis: BasisSet) -> np.ndarray:
                 continue
             cb_comps = cartesian_components(sb.l)
             nb = _component_norms(sb)
-            pairs = _shell_pair_tables(sa, sb, extra=2)
+            pairs = _cached_pair_tables(pair_tables, ia, ib, 2, sa, sb)
             block = np.zeros((len(ca_comps), len(cb_comps)))
             for cc, a, b, p, P, (Ex, Ey, Ez) in pairs:
                 pref = cc * (math.pi / p) ** 1.5
@@ -123,7 +143,7 @@ def kinetic(basis: BasisSet) -> np.ndarray:
 
 
 def nuclear_attraction(
-    basis: BasisSet, charges: list[tuple[float, np.ndarray]]
+    basis: BasisSet, charges: list[tuple[float, np.ndarray]], *, pair_tables=None
 ) -> np.ndarray:
     """Nuclear-attraction matrix V = sum_C -Z_C <mu| 1/|r-C| |nu>.
 
@@ -140,7 +160,7 @@ def nuclear_attraction(
                 continue
             cb_comps = cartesian_components(sb.l)
             nb = _component_norms(sb)
-            pairs = _shell_pair_tables(sa, sb)
+            pairs = _cached_pair_tables(pair_tables, ia, ib, 0, sa, sb)
             ltot = sa.l + sb.l
             block = np.zeros((len(ca_comps), len(cb_comps)))
             for cc, a, b, p, P, (Ex, Ey, Ez) in pairs:
@@ -174,7 +194,9 @@ def nuclear_attraction(
 
 
 def core_hamiltonian(
-    basis: BasisSet, charges: list[tuple[float, np.ndarray]]
+    basis: BasisSet, charges: list[tuple[float, np.ndarray]], *, pair_tables=None
 ) -> np.ndarray:
     """T + V for the given basis and nuclear framework."""
-    return kinetic(basis) + nuclear_attraction(basis, charges)
+    return kinetic(basis, pair_tables=pair_tables) + nuclear_attraction(
+        basis, charges, pair_tables=pair_tables
+    )

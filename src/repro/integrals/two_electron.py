@@ -1,25 +1,55 @@
 """Two-electron repulsion integrals (ERIs) in chemists' notation (pq|rs).
 
 The full 4-index Cartesian ERI tensor is assembled shell-quartet by
-shell-quartet with McMurchie-Davidson Hermite expansions.  Per shell pair the
-bra/ket Hermite coefficient tensors are precomputed once; the inner
-primitive-quad loop then only evaluates the Hermite Coulomb tensor R and a
-small tensor contraction.  Eight-fold permutational symmetry halves (thrice)
-the quartet loop.
+shell-quartet with McMurchie-Davidson Hermite expansions.  Two quartet
+kernels live here:
+
+* the **batched engine** (:class:`IntegralEngine`, the production path) —
+  per quartet, *all* primitive quads are evaluated at once: one vectorized
+  Hermite-Coulomb sweep over the whole batch of P-Q vectors, then two dense
+  contractions (a broadcast GEMM folding the ket Hermite coefficients into
+  the windowed R lattice, and one GEMM folding in the bra side).  Negligible
+  quartets are skipped up front with the rigorous Cauchy-Schwarz bound
+  ``sqrt((pq|pq)) * sqrt((rs|rs)) < tau``.
+* the **scalar reference path** (:func:`eri_reference`) — the original
+  primitive-quad quadruple loop, kept verbatim as the differential oracle
+  the engine is tested against.
+
+Eight-fold permutational symmetry halves (thrice) the quartet loop in both.
+Contracted shell-pair Hermite data is built once per basis and cached on the
+engine, which also serves the one-electron integrals and SCF (see
+:func:`repro.scf.rhf.compute_ao_integrals`).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..basis.shell import BasisSet, Shell, cartesian_components
-from .hermite import hermite_coulomb, hermite_expansion
-from .one_electron import _component_norms
+from ..basis.shell import BasisSet, cartesian_components
+from .hermite import hermite_coulomb, hermite_coulomb_batch, hermite_expansion
+from .one_electron import (
+    _component_norms,
+    core_hamiltonian,
+    kinetic,
+    nuclear_attraction,
+    overlap,
+)
 
-__all__ = ["eri", "ShellPairData", "build_shell_pairs"]
+__all__ = [
+    "eri",
+    "eri_reference",
+    "EriStats",
+    "IntegralEngine",
+    "ShellPairData",
+    "build_shell_pairs",
+    "schwarz_bounds",
+]
+
+_TWO_PI_POW_2_5 = 2.0 * math.pi**2.5
 
 
 @dataclass
@@ -38,6 +68,26 @@ class ShellPairData:
     # B[pair, comp_ab, t, u, v] with t,u,v <= la+lb
     B: np.ndarray
     norms: np.ndarray  # (ncomp,) component normalization products
+    # flattened views used by the batched kernel (built in __post_init__):
+    # Bflat[pair, comp, tuv] and Bsigned[pair, comp, tuv] with the ket-side
+    # (-1)^(t+u+v) phase folded in.
+    Bflat: np.ndarray = field(init=False, repr=False)
+    Bsigned: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        lsum = self.la + self.lb
+        n1 = lsum + 1
+        self.Bflat = self.B.reshape(self.B.shape[0], self.ncomp, n1 * n1 * n1)
+        grid = np.arange(n1)
+        sign = (-1.0) ** (
+            grid[:, None, None] + grid[None, :, None] + grid[None, None, :]
+        )
+        self.Bsigned = (self.B * sign).reshape(self.Bflat.shape)
+
+    @property
+    def nherm(self) -> int:
+        """Size of the flattened Hermite lattice (la+lb+1)^3."""
+        return self.Bflat.shape[2]
 
 
 def build_shell_pairs(basis: BasisSet) -> list[list[ShellPairData]]:
@@ -103,15 +153,22 @@ def build_shell_pairs(basis: BasisSet) -> list[list[ShellPairData]]:
     return table
 
 
-def _quartet(bra: ShellPairData, ket: ShellPairData) -> np.ndarray:
-    """Contracted ERI block for one shell quartet: (ncomp_bra, ncomp_ket)."""
+# -- scalar reference path (the differential oracle) --------------------------
+
+
+def _quartet_reference(bra: ShellPairData, ket: ShellPairData) -> np.ndarray:
+    """Contracted ERI block for one shell quartet: (ncomp_bra, ncomp_ket).
+
+    The original primitive-quad loop, retained as the oracle the batched
+    kernel is differentially tested against.
+    """
     lb = bra.la + bra.lb
     lk = ket.la + ket.lb
     ltot = lb + lk
     nb1 = lb + 1
     nk1 = lk + 1
     out = np.zeros((bra.ncomp, ket.ncomp))
-    Bbra = bra.B.reshape(bra.B.shape[0], bra.ncomp, -1)  # (npair, ncomp, nb1^3)
+    Bbra = bra.Bflat  # (npair, ncomp, nb1^3)
     for kb in range(bra.coefs.size):
         p = bra.exps_p[kb]
         P = bra.centers_P[kb]
@@ -121,13 +178,7 @@ def _quartet(bra: ShellPairData, ket: ShellPairData) -> np.ndarray:
             Q = ket.centers_P[kk]
             alpha = p * q / (p + q)
             R = hermite_coulomb(ltot, alpha, P - Q)
-            pref = (
-                cb
-                * ket.coefs[kk]
-                * 2.0
-                * math.pi**2.5
-                / (p * q * math.sqrt(p + q))
-            )
+            pref = cb * ket.coefs[kk] * _TWO_PI_POW_2_5 / (p * q * math.sqrt(p + q))
             # C[comp_ket, t,u,v] = sum_{tau,nu,phi} (-1)^(tau+nu+phi)
             #                      Bket[comp_ket,tau,nu,phi] R[t+tau,u+nu,v+phi]
             C = np.zeros((ket.ncomp, nb1, nb1, nb1))
@@ -147,16 +198,105 @@ def _quartet(bra: ShellPairData, ket: ShellPairData) -> np.ndarray:
     return out
 
 
-def eri(basis: BasisSet) -> np.ndarray:
-    """Full (nbf, nbf, nbf, nbf) ERI tensor, chemists' notation (pq|rs)."""
+def eri_reference(basis: BasisSet) -> np.ndarray:
+    """Scalar-path (nbf,)*4 ERI tensor: the pre-engine quadruple loop."""
+    return _assemble(basis, _flat_pairs(build_shell_pairs(basis)), _quartet_reference)
+
+
+# -- batched engine path -------------------------------------------------------
+
+
+def _quartet_batched(bra: ShellPairData, ket: ShellPairData) -> np.ndarray:
+    """Batched contracted ERI block for one shell quartet.
+
+    All npair_bra x npair_ket primitive quads at once: one vectorized
+    Hermite-Coulomb sweep, one broadcast GEMM contracting the (signed) ket
+    Hermite coefficients against the windowed R lattice, one GEMM folding in
+    the bra coefficients.
+    """
+    lb = bra.la + bra.lb
+    lk = ket.la + ket.lb
+    ltot = lb + lk
+    nb1 = lb + 1
+    nk1 = lk + 1
+    p = bra.exps_p
+    q = ket.exps_p
+    npb, npk = p.size, q.size
+    psum = p[:, None] + q[None, :]
+    alpha = p[:, None] * q[None, :] / psum
+    PQ = bra.centers_P[:, None, :] - ket.centers_P[None, :, :]
+    R = hermite_coulomb_batch(ltot, alpha.ravel(), PQ.reshape(-1, 3))
+    pref = (
+        bra.coefs[:, None]
+        * ket.coefs[None, :]
+        * _TWO_PI_POW_2_5
+        / (p[:, None] * q[None, :] * np.sqrt(psum))
+    )
+    # windowed gather R[t+tau, u+nu, v+phi] -> (quad, tau,nu,phi, t,u,v)
+    win = np.arange(nk1)[:, None] + np.arange(nb1)[None, :]
+    Rw = R[
+        :,
+        win[:, None, None, :, None, None],
+        win[None, :, None, None, :, None],
+        win[None, None, :, None, None, :],
+    ].reshape(npb, npk, nk1**3, nb1**3)
+    # fold the signed ket coefficients into the lattice: one broadcast GEMM
+    # (1, npk, ncomp_ket, nherm_ket) @ (npb, npk, nherm_ket, nherm_bra)
+    Z = ket.Bsigned[None] @ Rw
+    Z *= pref[:, :, None, None]
+    D = Z.sum(axis=1)  # (npb, ncomp_ket, nherm_bra)
+    # contract the bra coefficients over (primitive pair, hermite index)
+    out = np.tensordot(bra.Bflat, D, axes=([0, 2], [0, 2]))
+    out *= bra.norms[:, None] * ket.norms[None, :]
+    return out
+
+
+def _quartet_flops(bra: ShellPairData, ket: ShellPairData) -> float:
+    """Multiply-add count of the two dense contractions of one quartet."""
+    npb, npk = bra.coefs.size, ket.coefs.size
+    ket_gemm = 2.0 * npb * npk * ket.ncomp * ket.nherm * bra.nherm
+    bra_gemm = 2.0 * npb * bra.nherm * bra.ncomp * ket.ncomp
+    return ket_gemm + bra_gemm
+
+
+def _quartet_bytes(bra: ShellPairData, ket: ShellPairData) -> float:
+    """Bytes of the windowed-R gather plus the contraction operands."""
+    npb, npk = bra.coefs.size, ket.coefs.size
+    window = npb * npk * ket.nherm * bra.nherm
+    operands = npk * ket.ncomp * ket.nherm + npb * bra.ncomp * bra.nherm
+    result = npb * ket.ncomp * bra.nherm + bra.ncomp * ket.ncomp
+    return 8.0 * (window + operands + result)
+
+
+def _flat_pairs(table: list[list[ShellPairData]]) -> list[ShellPairData]:
+    return [table[ia][ib] for ia in range(len(table)) for ib in range(ia + 1)]
+
+
+def schwarz_bounds(pairs: list[ShellPairData]) -> np.ndarray:
+    """Cauchy-Schwarz bound sqrt(max |(pq|pq)|) for each shell pair.
+
+    The diagonal quartet (pair|pair) is evaluated with the batched kernel;
+    its diagonal entries are the (pq|pq) self-repulsions, so
+    ``bounds[i] * bounds[j]`` rigorously bounds every element of quartet
+    (i|j).
+    """
+    out = np.empty(len(pairs))
+    for i, pair in enumerate(pairs):
+        diag = np.abs(np.diagonal(_quartet_batched(pair, pair)))
+        out[i] = math.sqrt(float(diag.max()))
+    return out
+
+
+def _assemble(basis: BasisSet, flat_pairs, quartet_fn, *, skip_fn=None) -> np.ndarray:
+    """Drive the triangular quartet loop and scatter the 8 permutations."""
     n = basis.nbf
     offs = basis.shell_offsets
-    pairs = build_shell_pairs(basis)
     g = np.zeros((n, n, n, n))
-    flat_pairs = [pairs[ia][ib] for ia in range(len(pairs)) for ib in range(ia + 1)]
     for pi, bra in enumerate(flat_pairs):
-        for ket in flat_pairs[: pi + 1]:
-            block = _quartet(bra, ket)
+        for ki, ket in enumerate(flat_pairs[: pi + 1]):
+            if skip_fn is not None and skip_fn(pi, ki):
+                continue
+            block = quartet_fn(bra, ket)
             na = basis.shells[bra.ia].nfunc
             nb = basis.shells[bra.ib].nfunc
             nc = basis.shells[ket.ia].nfunc
@@ -176,3 +316,164 @@ def eri(basis: BasisSet) -> np.ndarray:
             ):
                 g[o1 : o1 + n1, o2 : o2 + n2, o3 : o3 + n3, o4 : o4 + n4] = perm_blk
     return g
+
+
+@dataclass
+class EriStats:
+    """Audited work/traffic tally of one ERI assembly."""
+
+    n_shell_pairs: int = 0
+    quartets_total: int = 0
+    quartets_computed: int = 0
+    quartets_screened: int = 0
+    flops: float = 0.0
+    bytes_moved: float = 0.0
+    seconds: float = 0.0
+    screen_threshold: float | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "n_shell_pairs": self.n_shell_pairs,
+            "quartets_total": self.quartets_total,
+            "quartets_computed": self.quartets_computed,
+            "quartets_screened": self.quartets_screened,
+            "flops": self.flops,
+            "bytes_moved": self.bytes_moved,
+            "seconds": self.seconds,
+            "screen_threshold": self.screen_threshold,
+        }
+
+
+class IntegralEngine:
+    """Batched, Schwarz-screened AO integral engine for one basis set.
+
+    Caches the contracted shell-pair Hermite data, the per-pair Schwarz
+    bounds, the assembled integral matrices/tensors, and the one-electron
+    Hermite tables, so SCF, the MO transformation, and any analysis code
+    share one set of precomputed quantities.
+
+    Parameters
+    ----------
+    basis:
+        The Cartesian Gaussian basis to integrate over.
+    screen_threshold:
+        ``None`` disables Schwarz screening entirely (no bounds are built).
+        A float tau engages the screen: quartets with
+        ``Q_bra * Q_ket < tau`` are skipped.  ``tau = 0.0`` engages the
+        machinery but skips nothing, which is bitwise-identical to the
+        unscreened assembly (the screen only ever *skips* quartets).
+    registry:
+        Optional :class:`repro.obs.MetricsRegistry`; ERI assembly then
+        publishes ``integrals.quartets.{computed,screened}`` counters and
+        the FLOP/byte ledger via :func:`repro.obs.accounting.account_eri`.
+    """
+
+    def __init__(
+        self,
+        basis: BasisSet,
+        *,
+        screen_threshold: float | None = None,
+        registry=None,
+    ):
+        if screen_threshold is not None and screen_threshold < 0:
+            raise ValueError("screen_threshold must be None or >= 0")
+        self.basis = basis
+        self.screen_threshold = screen_threshold
+        self.registry = registry
+        self.stats = EriStats(screen_threshold=screen_threshold)
+        self._pairs: list[ShellPairData] | None = None
+        self._schwarz: np.ndarray | None = None
+        self._eri: np.ndarray | None = None
+        self._one_electron_tables: dict = {}
+        self._one_cache: dict = {}
+
+    # -- cached shell-pair data -------------------------------------------
+
+    @property
+    def shell_pairs(self) -> list[ShellPairData]:
+        """Flattened (ia >= ib) shell-pair Hermite data, built once."""
+        if self._pairs is None:
+            self._pairs = _flat_pairs(build_shell_pairs(self.basis))
+        return self._pairs
+
+    @property
+    def schwarz(self) -> np.ndarray:
+        """Per-shell-pair Cauchy-Schwarz bounds, built once."""
+        if self._schwarz is None:
+            self._schwarz = schwarz_bounds(self.shell_pairs)
+        return self._schwarz
+
+    # -- two-electron integrals -------------------------------------------
+
+    def eri(self) -> np.ndarray:
+        """Full (nbf,)*4 ERI tensor via the batched, screened quartet loop."""
+        if self._eri is not None:
+            return self._eri
+        t0 = time.perf_counter()
+        pairs = self.shell_pairs
+        tau = self.screen_threshold
+        bounds = self.schwarz if tau is not None else None
+        stats = self.stats
+        stats.n_shell_pairs = len(pairs)
+
+        def skip(pi: int, ki: int) -> bool:
+            stats.quartets_total += 1
+            if bounds is not None and bounds[pi] * bounds[ki] < tau:
+                stats.quartets_screened += 1
+                return True
+            return False
+
+        def quartet(bra: ShellPairData, ket: ShellPairData) -> np.ndarray:
+            stats.quartets_computed += 1
+            stats.flops += _quartet_flops(bra, ket)
+            stats.bytes_moved += _quartet_bytes(bra, ket)
+            return _quartet_batched(bra, ket)
+
+        self._eri = _assemble(self.basis, pairs, quartet, skip_fn=skip)
+        stats.seconds += time.perf_counter() - t0
+        if self.registry is not None:
+            from ..obs.accounting import account_eri
+
+            account_eri(self.registry, stats, stats.seconds)
+        return self._eri
+
+    # -- one-electron integrals (shared Hermite-table cache) ----------------
+
+    def overlap(self) -> np.ndarray:
+        if "overlap" not in self._one_cache:
+            self._one_cache["overlap"] = overlap(
+                self.basis, pair_tables=self._one_electron_tables
+            )
+        return self._one_cache["overlap"]
+
+    def kinetic(self) -> np.ndarray:
+        if "kinetic" not in self._one_cache:
+            self._one_cache["kinetic"] = kinetic(
+                self.basis, pair_tables=self._one_electron_tables
+            )
+        return self._one_cache["kinetic"]
+
+    def nuclear_attraction(self, charges) -> np.ndarray:
+        key = ("nuclear", tuple((float(z), tuple(map(float, c))) for z, c in charges))
+        if key not in self._one_cache:
+            self._one_cache[key] = nuclear_attraction(
+                self.basis, charges, pair_tables=self._one_electron_tables
+            )
+        return self._one_cache[key]
+
+    def core_hamiltonian(self, charges) -> np.ndarray:
+        key = ("hcore", tuple((float(z), tuple(map(float, c))) for z, c in charges))
+        if key not in self._one_cache:
+            self._one_cache[key] = core_hamiltonian(
+                self.basis, charges, pair_tables=self._one_electron_tables
+            )
+        return self._one_cache[key]
+
+
+def eri(basis: BasisSet, *, screen_threshold: float | None = None) -> np.ndarray:
+    """Full (nbf, nbf, nbf, nbf) ERI tensor, chemists' notation (pq|rs).
+
+    Thin wrapper over :class:`IntegralEngine`; pass ``screen_threshold`` to
+    engage Cauchy-Schwarz shell-quartet screening.
+    """
+    return IntegralEngine(basis, screen_threshold=screen_threshold).eri()

@@ -27,6 +27,12 @@ sigma.dgemm.gemm_calls    counter    dense DGEMM invocations (E = W.D / G.D)
 sigma.dgemm.gather_elems  counter    vector-gather traffic (elements)
 sigma.dgemm.scatter_elems counter    vector-scatter traffic (elements)
 sigma.moc.indexed_ops     counter    indexed multiply-add updates
+integrals.quartets.computed counter  shell quartets evaluated by the ERI engine
+integrals.quartets.screened counter  shell quartets skipped by Schwarz screening
+integrals.eri.flops       counter    dense-contraction FLOPs of ERI assembly
+integrals.eri.bytes       counter    gather/operand traffic of ERI assembly
+integrals.eri.seconds     timer      wall seconds per ERI assembly
+integrals.mo_transform.flops counter AO->MO quarter-transformation FLOPs
 x1.virtual_seconds        counter    simulated wall-clock, summed over runs
 x1.flops                  counter    simulated FLOPs (all ranks)
 x1.bytes_sent             counter    one-sided put/acc traffic (bytes)
@@ -51,8 +57,12 @@ __all__ = [
     "dgemm_mixed_spin_flops",
     "dgemm_same_spin_flops",
     "moc_mixed_spin_ops",
+    "eri_quartet_flops",
+    "mo_transform_flops",
     "account_sigma_dgemm",
     "account_sigma_moc",
+    "account_eri",
+    "account_mo_transform",
     "account_parallel_report",
     "account_trace_result",
 ]
@@ -93,6 +103,39 @@ def moc_mixed_spin_ops(n_orbitals: int, n_alpha: int, n_beta: int, nci: float) -
     """Paper Table 1: indexed ops of the MOC alpha-beta routine."""
     n = n_orbitals
     return float(nci) * n_alpha * (n - n_alpha) * n_beta * (n - n_beta)
+
+
+def eri_quartet_flops(
+    npair_bra: int,
+    npair_ket: int,
+    ncomp_bra: int,
+    ncomp_ket: int,
+    nherm_bra: int,
+    nherm_ket: int,
+) -> float:
+    """Exact multiply-add count of one batched ERI shell quartet.
+
+    The batched engine evaluates two dense contractions per quartet: the
+    broadcast GEMM folding the (signed) ket Hermite coefficients into the
+    windowed R lattice (2 * npair_bra * npair_ket * ncomp_ket * nherm_ket
+    * nherm_bra) and the bra-side GEMM (2 * npair_bra * nherm_bra *
+    ncomp_bra * ncomp_ket).  ``nherm_*`` are the flattened Hermite lattice
+    sizes (l_a + l_b + 1)^3.  This is the quantity
+    ``EriStats.flops`` accumulates, cross-checked by the test suite.
+    """
+    ket_gemm = 2.0 * npair_bra * npair_ket * ncomp_ket * nherm_ket * nherm_bra
+    bra_gemm = 2.0 * npair_bra * nherm_bra * ncomp_bra * ncomp_ket
+    return ket_gemm + bra_gemm
+
+
+def mo_transform_flops(n_ao: int, n_mo: int) -> float:
+    """Multiply-add count of the four AO->MO quarter transformations.
+
+    Step k contracts an (n_ao^(4-k+1) x n_mo^(k-1)) tensor with the
+    (n_ao x n_mo) coefficient matrix: 2 * n_ao^(5-k) * n_mo^k each.
+    """
+    a, m = float(n_ao), float(n_mo)
+    return 2.0 * (a**4 * m + a**3 * m**2 + a**2 * m**3 + a * m**4)
 
 
 @dataclass
@@ -183,6 +226,54 @@ def account_sigma_moc(
         bytes_moved=8.0 * 3.0 * indexed,  # gather-modify-scatter per update
         seconds=wall_seconds,
         detail={"indexed_ops": indexed, "matrix_elements": elements},
+    )
+
+
+def account_eri(
+    registry: MetricsRegistry,
+    stats: Mapping[str, float] | Any,
+    wall_seconds: float,
+) -> FlopLedger:
+    """Fold one ERI assembly into the registry.
+
+    ``stats`` is an :class:`repro.integrals.two_electron.EriStats` instance
+    or its ``as_dict()``.
+    """
+    s = stats.as_dict() if hasattr(stats, "as_dict") else dict(stats)
+    flops = float(s.get("flops", 0.0))
+    bytes_moved = float(s.get("bytes_moved", 0.0))
+    computed = float(s.get("quartets_computed", 0.0))
+    screened = float(s.get("quartets_screened", 0.0))
+    registry.counter("integrals.eri.assemblies").inc()
+    registry.counter("integrals.quartets.computed").inc(computed)
+    registry.counter("integrals.quartets.screened").inc(screened)
+    registry.counter("integrals.eri.flops").inc(flops)
+    registry.counter("integrals.eri.bytes").inc(bytes_moved)
+    registry.timer("integrals.eri.seconds").observe(wall_seconds)
+    return FlopLedger(
+        name="integrals.eri",
+        flops=flops,
+        bytes_moved=bytes_moved,
+        seconds=wall_seconds,
+        detail={"quartets_computed": computed, "quartets_screened": screened},
+    )
+
+
+def account_mo_transform(
+    registry: MetricsRegistry, n_ao: int, n_mo: int, wall_seconds: float
+) -> FlopLedger:
+    """Fold one AO->MO integral transformation into the registry."""
+    flops = mo_transform_flops(n_ao, n_mo)
+    bytes_moved = 8.0 * (float(n_ao) ** 4 + float(n_mo) ** 4)
+    registry.counter("integrals.mo_transform.calls").inc()
+    registry.counter("integrals.mo_transform.flops").inc(flops)
+    registry.timer("integrals.mo_transform.seconds").observe(wall_seconds)
+    return FlopLedger(
+        name="integrals.mo_transform",
+        flops=flops,
+        bytes_moved=bytes_moved,
+        seconds=wall_seconds,
+        detail={"n_ao": float(n_ao), "n_mo": float(n_mo)},
     )
 
 

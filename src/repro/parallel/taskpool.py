@@ -146,7 +146,20 @@ def build_task_pool(
 
 
 def pool_statistics(tasks: list[Task]) -> dict[str, float]:
-    """Summary statistics used by the Fig-3 ablation benchmark."""
+    """Summary statistics used by the Fig-3 ablation benchmark.
+
+    An empty pool (a rank that received no work units) yields all-zero
+    statistics rather than tripping numpy's empty-reduction errors.
+    """
+    if not tasks:
+        return {
+            "n_tasks": 0,
+            "total_cost": 0.0,
+            "max_cost": 0.0,
+            "min_cost": 0.0,
+            "mean_cost": 0.0,
+            "tail_cost": 0.0,
+        }
     costs = np.array([t.cost for t in tasks])
     return {
         "n_tasks": len(tasks),

@@ -6,6 +6,7 @@ that every FCI routine in :mod:`repro.core` consumes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -46,9 +47,23 @@ class MOIntegrals:
 
 
 def transform(
-    ints: AOIntegrals, mo_coeff: np.ndarray, orbital_irreps: np.ndarray | None = None
+    ints: AOIntegrals,
+    mo_coeff: np.ndarray,
+    orbital_irreps: np.ndarray | None = None,
+    *,
+    registry=None,
 ) -> MOIntegrals:
-    """Transform AO integrals into the MO basis defined by ``mo_coeff``."""
+    """Transform AO integrals into the MO basis defined by ``mo_coeff``.
+
+    The (pq|rs) tensor comes from the :class:`repro.integrals.IntegralEngine`
+    cache attached to ``ints`` (when built by ``compute_ao_integrals``), so
+    repeated transformations never re-assemble AO integrals.  ``registry``
+    (or, if absent, the engine's own registry) receives the
+    ``integrals.mo_transform.*`` FLOP accounting; None disables it.
+    """
+    if registry is None and ints.engine is not None:
+        registry = ints.engine.registry
+    t0 = time.perf_counter()
     C = np.asarray(mo_coeff, dtype=float)
     h = C.T @ ints.hcore @ C
     # quarter transformations: O(n^5)
@@ -56,6 +71,12 @@ def transform(
     g = np.einsum("iqrs,qj->ijrs", g, C, optimize=True)
     g = np.einsum("ijrs,rk->ijks", g, C, optimize=True)
     g = np.einsum("ijks,sl->ijkl", g, C, optimize=True)
+    if registry is not None:
+        from ..obs.accounting import account_mo_transform
+
+        account_mo_transform(
+            registry, ints.nbf, C.shape[1], time.perf_counter() - t0
+        )
     return MOIntegrals(
         h=h,
         g=g,

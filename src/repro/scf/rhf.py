@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..integrals import core_hamiltonian, eri, overlap
+from ..integrals import IntegralEngine
 from ..molecule.geometry import Molecule
 
 __all__ = ["SCFResult", "DIIS", "rhf", "AOIntegrals", "compute_ao_integrals"]
@@ -21,15 +21,42 @@ class AOIntegrals:
     g: np.ndarray  # (pq|rs) chemists' notation
     enuc: float
     nbf: int
+    # the engine that produced these integrals (shell-pair caches, Schwarz
+    # bounds, eri stats); None for hand-built integral bundles
+    engine: IntegralEngine | None = None
 
 
-def compute_ao_integrals(mol: Molecule, basis_name: str = "sto-3g") -> AOIntegrals:
-    """All AO integrals needed by SCF and the MO transformation."""
-    basis = mol.basis(basis_name)
-    S = overlap(basis)
-    h = core_hamiltonian(basis, mol.charges())
-    g = eri(basis)
-    return AOIntegrals(S=S, hcore=h, g=g, enuc=mol.nuclear_repulsion(), nbf=basis.nbf)
+def compute_ao_integrals(
+    mol: Molecule,
+    basis_name: str = "sto-3g",
+    *,
+    screen_threshold: float | None = None,
+    registry=None,
+    engine: IntegralEngine | None = None,
+) -> AOIntegrals:
+    """All AO integrals needed by SCF and the MO transformation.
+
+    One :class:`repro.integrals.IntegralEngine` serves every matrix/tensor,
+    so the contracted shell-pair Hermite data is built exactly once.  Pass
+    ``screen_threshold`` to engage Cauchy-Schwarz ERI screening,
+    ``registry`` (a :class:`repro.obs.MetricsRegistry`) to publish the
+    integral FLOP/byte accounting, or a prebuilt ``engine`` to reuse its
+    caches across calls.
+    """
+    if engine is None:
+        engine = IntegralEngine(
+            mol.basis(basis_name),
+            screen_threshold=screen_threshold,
+            registry=registry,
+        )
+    return AOIntegrals(
+        S=engine.overlap(),
+        hcore=engine.core_hamiltonian(mol.charges()),
+        g=engine.eri(),
+        enuc=mol.nuclear_repulsion(),
+        nbf=engine.basis.nbf,
+        engine=engine,
+    )
 
 
 @dataclass

@@ -98,6 +98,13 @@ class TestCheckpointer:
         assert cp.maybe_save(_state(np.ones(4), it=5))
         assert cp.exists()
 
+    def test_force_save_bypasses_every_grid(self, tmp_path):
+        # regression: converged/loop-exit states falling off the ``every``
+        # grid used to be dropped; ``force=True`` must always persist
+        cp = Checkpointer(tmp_path / "ck.npz", every=5)
+        assert cp.maybe_save(_state(np.ones(4), it=3), force=True)
+        assert cp.exists()
+
     def test_corruption_detected(self, tmp_path):
         path = tmp_path / "ck.npz"
         cp = Checkpointer(path, telemetry=Telemetry())
@@ -173,6 +180,62 @@ class TestKillAndRestart:
             # single-vector methods replay the exact iteration sequence
             assert res.energies == ref.energies
             assert res.n_iterations == ref.n_iterations
+
+
+_SOLVERS = [
+    ("olsen", olsen_solve, dict(step=0.7, max_iterations=250)),
+    ("auto", auto_adjusted_solve, {}),
+    ("davidson", davidson_solve, {}),
+]
+
+
+class TestFinalStateDurability:
+    @pytest.mark.parametrize("name,solve,kw", _SOLVERS)
+    def test_converged_state_saved_off_grid(self, ci, tmp_path, name, solve, kw):
+        # regression: with a sparse ``every`` grid, the converged iteration
+        # used to be silently dropped unless it happened to land on the grid
+        problem, precond, guess = ci
+
+        def sig(C):
+            return sigma_dgemm(problem, C)
+
+        path = tmp_path / f"{name}.npz"
+        res = solve(
+            sig, guess, precond, checkpoint=Checkpointer(path, every=10**6), **kw
+        )
+        assert res.converged
+        state = Checkpointer(path).restore(name)
+        assert state is not None
+        assert state.iteration == res.n_iterations
+        assert state.energies[-1] == res.energy
+
+    @pytest.mark.parametrize("name,solve", [(n, s) for n, s, _ in _SOLVERS])
+    def test_exhausted_budget_resume_reports_checkpointed_energy(
+        self, ci, tmp_path, name, solve
+    ):
+        # regression: a resume whose iteration budget was already spent used
+        # to report energy=0.0 (auto/davidson) instead of the stored energy
+        problem, precond, guess = ci
+
+        def sig(C):
+            return sigma_dgemm(problem, C)
+
+        cp = Checkpointer(tmp_path / f"{name}.npz")
+        cp.save(
+            CheckpointState(
+                method=name,
+                iteration=7,
+                n_sigma=7,
+                vector=guess,
+                meta={},
+                energies=[-1.0, -1.25],
+                residual_norms=[0.5, 0.2],
+            )
+        )
+        res = solve(sig, guess, precond, checkpoint=cp, max_iterations=5)
+        assert not res.converged
+        assert res.energy == -1.25
+        assert res.n_sigma == 7
 
 
 class TestFCISolverIntegration:

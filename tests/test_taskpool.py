@@ -91,6 +91,19 @@ class TestStatistics:
         assert abs(stats["total_cost"] - 200) < 1e-9
         assert stats["max_cost"] >= stats["mean_cost"] >= stats["min_cost"]
 
+    def test_empty_pool_returns_zeroed_stats(self):
+        # regression: an empty pool (a rank with no work units) used to trip
+        # numpy's zero-size reduction ValueError instead of reporting zeros
+        stats = pool_statistics([])
+        assert stats == {
+            "n_tasks": 0,
+            "total_cost": 0.0,
+            "max_cost": 0.0,
+            "min_cost": 0.0,
+            "mean_cost": 0.0,
+            "tail_cost": 0.0,
+        }
+
     def test_imbalance_bound_by_tail(self):
         # with a fine tail, the worst-case imbalance is one tail-task cost
         costs = np.random.default_rng(5).uniform(1, 4, size=2000)

@@ -17,15 +17,51 @@ survives across PRs.
 from __future__ import annotations
 
 import datetime
+import functools
 import json
+import os
 import pathlib
+import platform
+import subprocess
+import sys
 
+import numpy as np
 import pytest
 
 from repro.molecule import Molecule
+from repro.parallel.backend import backend_names
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+@functools.lru_cache(maxsize=1)
+def provenance() -> dict:
+    """Where a benchmark number came from: commit, interpreter, machine.
+
+    Stamped into every result JSON so a ``BENCH_*.json`` diffed across PRs
+    identifies its commit and hardware without consulting CI logs.
+    """
+    try:
+        git_sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        git_sha = "unknown"
+    return {
+        "git_sha": git_sha,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "backends": sorted(backend_names()),
+    }
 
 
 def write_result(
@@ -48,6 +84,7 @@ def write_result(
     payload = {
         "name": name,
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "provenance": provenance(),
         "text": text,
         "rows": rows,
         "metrics": metrics,

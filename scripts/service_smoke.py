@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the FCI service daemon, over real HTTP.
+
+What CI's ``service-smoke`` job runs: start ``python -m repro.service
+serve`` as a *subprocess* (a genuine daemon, not an in-process server),
+submit H2/STO-3G over the wire, poll to completion, check the golden
+energy, then resubmit the identical spec and require a result-cache hit
+(same key, no second solve).  Exits non-zero on any failure.
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py [--port 8123]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+GOLDEN_H2 = -1.137275943785  # tests/test_golden_energies.py
+H2_SPEC = {
+    "atoms": [["H", [0.0, 0.0, 0.0]], ["H", [0.0, 0.0, 1.4]]],
+    "basis": "sto-3g",
+}
+
+
+def request(method: str, url: str, payload: dict | None = None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(
+        url, data=data, method=method, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        return resp.status, json.loads(resp.read().decode())
+
+
+def wait_for_health(url: str, deadline: float) -> None:
+    while time.monotonic() < deadline:
+        try:
+            code, body = request("GET", f"{url}/v1/healthz")
+            if code == 200 and body.get("ok"):
+                return
+        except (urllib.error.URLError, ConnectionError, OSError):
+            pass
+        time.sleep(0.2)
+    raise SystemExit("daemon never became healthy")
+
+
+def free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port", type=int, default=None)
+    parser.add_argument("--startup-timeout", type=float, default=60.0)
+    parser.add_argument("--solve-timeout", type=float, default=120.0)
+    args = parser.parse_args(argv)
+
+    port = args.port if args.port is not None else free_port()
+    url = f"http://127.0.0.1:{port}"
+    workdir = tempfile.mkdtemp(prefix="fci-smoke-")
+    daemon = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "serve",
+            "--workdir",
+            workdir,
+            "--port",
+            str(port),
+            "--workers",
+            "1",
+        ],
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    try:
+        wait_for_health(url, time.monotonic() + args.startup_timeout)
+        print(f"daemon healthy on {url} (pid {daemon.pid})")
+
+        code, sub = request("POST", f"{url}/v1/jobs", {"spec": H2_SPEC})
+        assert code == 202, f"submit returned {code}: {sub}"
+        assert not sub["cache_hit"] and not sub["deduped"], sub
+        key = sub["key"]
+        print(f"submitted H2/sto-3g as {key[:12]}")
+
+        deadline = time.monotonic() + args.solve_timeout
+        while True:
+            code, status = request("GET", f"{url}/v1/jobs/{key}")
+            if status["state"] not in ("queued", "running"):
+                break
+            if time.monotonic() > deadline:
+                raise SystemExit(f"job still {status['state']} after timeout")
+            time.sleep(0.2)
+        assert status["state"] == "completed", f"job ended {status}"
+        energy = status["result"]["energy"]
+        assert abs(energy - GOLDEN_H2) < 1e-8, (
+            f"energy {energy!r} off golden {GOLDEN_H2!r}"
+        )
+        print(f"completed: E = {energy:.12f} (golden ok, "
+              f"{status['result']['n_iterations']} iterations)")
+
+        # idempotent resubmission: same key, served from the result cache
+        code, again = request("POST", f"{url}/v1/jobs", {"spec": H2_SPEC})
+        assert code == 200, f"resubmit returned {code}: {again}"
+        assert again["key"] == key and again["cache_hit"], again
+        code, stats = request("GET", f"{url}/v1/stats")
+        assert stats["solves_executed"] == 1, stats
+        print("resubmission was a cache hit; exactly one solve executed")
+        print("SERVICE SMOKE OK")
+        return 0
+    finally:
+        daemon.send_signal(signal.SIGINT)
+        try:
+            daemon.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,12 +64,20 @@ class Checkpointer:
     point of the single-vector method).  ``telemetry`` (a
     :class:`repro.obs.Telemetry`) counts saves, restores, and rejected
     checkpoints in its metrics registry; None is a strict no-op.
+
+    ``faults`` (a :class:`repro.faults.FaultInjector`) makes the save path
+    chaos-testable: when the injector's seeded ``io_fails`` oracle fires,
+    :meth:`save` raises :class:`OSError` *before* touching the file - the
+    previous good checkpoint survives and the in-flight solve dies exactly
+    the way a lost shared filesystem would kill it mid-campaign.  The
+    service layer's crash-resume tests drive this hook.
     """
 
-    def __init__(self, path, *, every: int = 1, telemetry=None):
+    def __init__(self, path, *, every: int = 1, telemetry=None, faults=None):
         self.path = os.fspath(path)
         self.every = max(1, int(every))
         self.telemetry = telemetry
+        self.faults = faults
 
     def _count(self, name: str) -> None:
         if self.telemetry:
@@ -97,6 +105,11 @@ class Checkpointer:
 
     def save(self, state: CheckpointState) -> None:
         """Atomically persist ``state`` (write-tmp, fsync, rename)."""
+        if self.faults is not None and self.faults.io_fails(0):
+            self._count("solver.checkpoint.io_errors")
+            raise OSError(
+                f"injected transient I/O error writing checkpoint {self.path!r}"
+            )
         vec = np.ascontiguousarray(state.vector)
         header = {
             "version": _FORMAT_VERSION,
@@ -118,6 +131,21 @@ class Checkpointer:
             os.fsync(f.fileno())
         os.replace(tmp, self.path)
         self._count("solver.checkpoint.saves")
+
+    def peek(self) -> dict | None:
+        """The checkpoint's JSON header alone (no vector CRC verification).
+
+        Cheap metadata for status displays - method, completed iterations,
+        energy/residual history - or None when the file is absent or
+        unreadable.  Use :meth:`load`/:meth:`restore` for verified state.
+        """
+        if not os.path.exists(self.path):
+            return None
+        try:
+            with np.load(self.path) as z:
+                return json.loads(bytes(z["header"].tobytes()).decode())
+        except Exception:
+            return None
 
     def load(self) -> CheckpointState | None:
         """Load and verify; None if absent, :class:`CheckpointError` if bad."""

@@ -226,6 +226,42 @@ class SigmaPlan:
             problem._sigma_plan = plan
         return plan
 
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the plan's compiled arrays.
+
+        The cache-accounting figure for content-addressed plan stores (the
+        service layer's artifact cache budgets and reports eviction on it):
+        the W/G supermatrices, the one-electron CSR operators, and every
+        gather/scatter index array, counted once per distinct object
+        (shared alpha/beta halves are not double counted).
+        """
+        seen: set[int] = set()
+        total = 0
+
+        def add(arr) -> None:
+            nonlocal total
+            if arr is None or id(arr) in seen:
+                return
+            seen.add(id(arr))
+            total += int(arr.nbytes)
+
+        add(self.w_matrix)
+        add(self.g_matrix)
+        for csr in {id(self.Ta): self.Ta, id(self.Tb): self.Tb}.values():
+            add(csr.data)
+            add(csr.indices)
+            add(csr.indptr)
+        for half in {id(self.scatter_a): self.scatter_a,
+                     id(self.gather_b): self.gather_b}.values():
+            for name in ("source", "target", "p", "q", "pq", "sign"):
+                add(getattr(half, name))
+        for splan in (self.same_a, self.same_b):
+            if splan is not None:
+                for name in ("key", "source", "sign"):
+                    add(getattr(splan, name))
+        return total
+
     def default_block_columns(
         self, *, memory_budget_mb: int = DEFAULT_BLOCK_BUDGET_MB, batch: int = 1
     ) -> int:

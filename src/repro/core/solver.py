@@ -296,9 +296,17 @@ class FCISolver:
         if close is not None:
             close()
 
-    def run(self) -> FCIResult:
-        """Execute the full pipeline and return the converged result."""
-        problem, scf, mo = self.build_problem()
+    def run(self, *, prebuilt=None) -> FCIResult:
+        """Execute the full pipeline and return the converged result.
+
+        ``prebuilt`` is an optional ``(problem, scf, mo)`` triple from an
+        earlier :meth:`build_problem` - the service layer's content-addressed
+        artifact cache hands the same compiled problem (whose cached
+        :class:`~repro.core.plans.SigmaPlan` and excitation tables ride
+        along) to every job that shares the molecule/basis/CI-space digest,
+        so only the first job in a family pays the compilation.
+        """
+        problem, scf, mo = prebuilt if prebuilt is not None else self.build_problem()
         sigma_fn = self.build_operator(problem)
         try:
             return self._run_solve(problem, scf, mo, sigma_fn)

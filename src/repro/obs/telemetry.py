@@ -44,6 +44,11 @@ class Telemetry:
     tracer:
         Optional :class:`repro.obs.tracer.SpanTracer` handed to the
         simulated-X1 engine by the parallel drivers.
+    on_iteration:
+        Optional callable invoked with each per-iteration record dict right
+        after it is appended to the ``solver.iterations`` series.  This is
+        the streaming hook: the service layer uses it to push live
+        telemetry to clients without polling the registry.
     """
 
     def __init__(
@@ -51,10 +56,13 @@ class Telemetry:
         enabled: bool = True,
         registry: MetricsRegistry | None = None,
         tracer: SpanTracer | None = None,
+        *,
+        on_iteration=None,
     ):
         self.enabled = bool(enabled)
         self.registry = registry if registry is not None else (MetricsRegistry() if enabled else None)
         self.tracer = tracer
+        self.on_iteration = on_iteration
 
     def __bool__(self) -> bool:
         return self.enabled
@@ -91,13 +99,16 @@ class Telemetry:
         """Per-iteration eigensolver telemetry (residual, energy, lambda...)."""
         if not self.enabled:
             return
-        self.registry.series(SOLVER_SERIES).append(
+        record = dict(
             method=method,
             iteration=int(iteration),
             energy=float(energy),
             residual_norm=float(residual_norm),
             **{k: (float(v) if isinstance(v, (int, float)) else v) for k, v in extra.items()},
         )
+        self.registry.series(SOLVER_SERIES).append(**record)
+        if self.on_iteration is not None:
+            self.on_iteration(record)
         self.registry.counter("solver.iterations.count").inc()
         self.registry.histogram("solver.residual_norm").observe(residual_norm)
         logger.debug(

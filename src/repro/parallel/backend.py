@@ -91,6 +91,10 @@ class Backend(abc.ABC):
     def close(self) -> None:
         """Release backend resources (processes, shared segments)."""
 
+    def describe(self) -> dict:
+        """JSON-friendly identity of this substrate (service/bench metadata)."""
+        return {"backend": self.name, "n_ranks": self.n_ranks}
+
     def __enter__(self):
         return self
 
@@ -196,6 +200,13 @@ class ShmBackend(Backend):
                 timeout=self.timeout,
             )
         return self._engine
+
+    def describe(self) -> dict:
+        return {
+            "backend": self.name,
+            "n_ranks": self.n_ranks,
+            "blas_threads": self.blas_threads,
+        }
 
     def run_sigma(self, owner, C: np.ndarray) -> SigmaRun:
         engine = self.engine(owner.plan, owner.block_columns)

@@ -1,0 +1,50 @@
+"""FCI-as-a-service: the subsystem that turns the library into a server.
+
+The pieces (each its own module, composable without the others):
+
+* :mod:`.jobs` - content-addressed :class:`JobSpec` (idempotent job keys,
+  shared CI-space digests) and the :class:`JobRecord` lifecycle machine.
+* :mod:`.cache` - :class:`ArtifactCache`: compiled workspaces (integrals,
+  SCF, cached :class:`~repro.core.plans.SigmaPlan`) keyed by space digest,
+  converged results keyed by job digest, persisted atomically.
+* :mod:`.executor` - one preemptible, checkpointed, telemetry-streaming
+  solve per job (:class:`SolveExecutor`, :class:`ServiceCheckpointer`).
+* :mod:`.scheduler` - bounded priority :class:`JobQueue` (backpressure)
+  and the worker-fleet :class:`Scheduler`.
+* :mod:`.service` - :class:`FCIService`, the programmatic facade.
+* :mod:`.httpd` / :mod:`.cli` - the HTTP daemon and the
+  ``python -m repro.service`` command-line client.
+
+Quick start::
+
+    from repro import Molecule
+    from repro.service import FCIService
+
+    with FCIService("fci-workdir") as svc:
+        job = svc.submit(Molecule.from_atoms([("H", (0, 0, 0)), ("H", (0, 0, 1.4))]))
+        print(svc.result(job.key, timeout=60)["energy"])
+"""
+
+from .cache import ArtifactCache, Workspace
+from .executor import JobPreempted, JobTimeout, ServiceCheckpointer, SolveExecutor
+from .jobs import PRIORITY_TIERS, JobRecord, JobSpec, JobState, JobStateError
+from .scheduler import JobQueue, QueueFullError, Scheduler
+from .service import FCIService
+
+__all__ = [
+    "ArtifactCache",
+    "FCIService",
+    "JobPreempted",
+    "JobQueue",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "JobStateError",
+    "JobTimeout",
+    "PRIORITY_TIERS",
+    "QueueFullError",
+    "Scheduler",
+    "ServiceCheckpointer",
+    "SolveExecutor",
+    "Workspace",
+]

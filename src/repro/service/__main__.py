@@ -1,0 +1,7 @@
+"""``python -m repro.service`` - daemon and HTTP client entry point."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,234 @@
+"""Command-line surface: run the daemon, or talk to one over HTTP.
+
+::
+
+    # server
+    python -m repro.service serve --workdir /var/lib/fci --port 8080
+
+    # clients
+    python -m repro.service submit --url http://127.0.0.1:8080 \\
+        --atom "H 0 0 0" --atom "H 0 0 1.4" --basis sto-3g --wait
+    python -m repro.service status  <key>
+    python -m repro.service result  <key> --wait 60
+    python -m repro.service cancel  <key>
+    python -m repro.service resume  <key>
+    python -m repro.service telemetry <key>
+    python -m repro.service stats
+
+The client side is plain ``urllib`` against the JSON routes of
+:mod:`repro.service.httpd`; ``submit`` prints the job key (and, with
+``--wait``, streams until the job is terminal and prints the energy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import sys
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["main"]
+
+
+def _request(method: str, url: str, payload: dict | None = None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(
+        url, data=data, method=method, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            body = resp.read().decode()
+    except urllib.error.HTTPError as exc:
+        body = exc.read().decode()
+        try:
+            message = json.loads(body).get("error", body)
+        except json.JSONDecodeError:
+            message = body
+        raise SystemExit(f"error {exc.code}: {message}") from None
+    except urllib.error.URLError as exc:
+        raise SystemExit(f"cannot reach service at {url}: {exc.reason}") from None
+    try:
+        return json.loads(body)
+    except json.JSONDecodeError:
+        return body
+
+
+def _spec_from_args(args) -> dict:
+    if args.spec_json:
+        with open(args.spec_json) as f:
+            return json.load(f)
+    if not args.atom:
+        raise SystemExit("submit needs --atom entries or --spec-json FILE")
+    atoms = []
+    for entry in args.atom:
+        fieldsplit = entry.replace(",", " ").split()
+        if len(fieldsplit) != 4:
+            raise SystemExit(f"--atom wants 'SYM X Y Z' (bohr); got {entry!r}")
+        atoms.append([fieldsplit[0], [float(x) for x in fieldsplit[1:]]])
+    spec = {
+        "atoms": atoms,
+        "charge": args.charge,
+        "multiplicity": args.multiplicity,
+        "basis": args.basis,
+        "method": args.method,
+        "max_iterations": args.max_iterations,
+    }
+    if args.frozen_core:
+        spec["frozen_core"] = args.frozen_core
+    return spec
+
+
+def _wait_for(url: str, key: str, poll: float = 0.5) -> dict:
+    seen = 0
+    while True:
+        status = _request("GET", f"{url}/v1/jobs/{key}")
+        events = _request("GET", f"{url}/v1/jobs/{key}/telemetry")
+        if isinstance(events, str):
+            lines = [ln for ln in events.splitlines() if ln]
+            for line in lines[seen:]:
+                print(line)
+            seen = len(lines)
+        if status["state"] not in ("queued", "running"):
+            return status
+        time.sleep(poll)
+
+
+def _cmd_serve(args) -> int:
+    from .httpd import ServiceHTTPServer
+    from .service import FCIService
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(levelname)s %(message)s"
+    )
+    service = FCIService(
+        args.workdir,
+        max_workers=args.workers,
+        queue_size=args.queue_size,
+        default_timeout=args.job_timeout,
+    )
+    server = ServiceHTTPServer(service, host=args.host, port=args.port)
+    print(f"FCI service on {server.url} (workdir={args.workdir})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down (preempting running jobs)...", flush=True)
+    finally:
+        server.stop()
+        service.stop(preempt=True)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    payload = {
+        "spec": _spec_from_args(args),
+        "priority": args.priority,
+        "force": args.force,
+    }
+    if args.timeout is not None:
+        payload["timeout"] = args.timeout
+    out = _request("POST", f"{args.url}/v1/jobs", payload)
+    print(json.dumps(out))
+    if args.wait:
+        status = _wait_for(args.url, out["key"])
+        print(json.dumps(status, indent=2))
+        if status["state"] != "completed":
+            return 1
+        print(f"E = {status['result']['energy']:.12f}")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    print(json.dumps(_request("GET", f"{args.url}/v1/jobs/{args.key}"), indent=2))
+    return 0
+
+
+def _cmd_result(args) -> int:
+    out = _request("GET", f"{args.url}/v1/jobs/{args.key}/result?wait={args.wait}")
+    print(json.dumps(out, indent=2))
+    return 0
+
+
+def _cmd_telemetry(args) -> int:
+    out = _request("GET", f"{args.url}/v1/jobs/{args.key}/telemetry")
+    sys.stdout.write(out if isinstance(out, str) else json.dumps(out))
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    print(json.dumps(_request("POST", f"{args.url}/v1/jobs/{args.key}/cancel", {})))
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    print(json.dumps(_request("POST", f"{args.url}/v1/jobs/{args.key}/resume", {})))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    print(json.dumps(_request("GET", f"{args.url}/v1/stats"), indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="FCI-as-a-service: job server daemon and HTTP client.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the job-server daemon")
+    serve.add_argument("--workdir", default="fci-service", help="durable state root")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--workers", type=int, default=2, help="worker-fleet width")
+    serve.add_argument("--queue-size", type=int, default=64)
+    serve.add_argument(
+        "--job-timeout", type=float, default=None, help="default per-job seconds"
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    def client(p):
+        p.add_argument("--url", default="http://127.0.0.1:8080")
+        return p
+
+    submit = client(sub.add_parser("submit", help="submit a job"))
+    submit.add_argument("--atom", action="append", default=[], help="'SYM X Y Z' (bohr)")
+    submit.add_argument("--spec-json", help="full JobSpec JSON file instead of --atom")
+    submit.add_argument("--charge", type=int, default=0)
+    submit.add_argument("--multiplicity", type=int, default=1)
+    submit.add_argument("--basis", default="sto-3g")
+    submit.add_argument("--method", default="auto")
+    submit.add_argument("--max-iterations", type=int, default=60)
+    submit.add_argument("--frozen-core", dest="frozen_core", type=int, default=0)
+    submit.add_argument("--priority", default="normal")
+    submit.add_argument("--timeout", type=float, default=None)
+    submit.add_argument("--force", action="store_true", help="bypass the result cache")
+    submit.add_argument(
+        "--wait", action="store_true", help="stream telemetry until terminal"
+    )
+    submit.set_defaults(func=_cmd_submit)
+
+    for name, fn, extra in (
+        ("status", _cmd_status, None),
+        ("result", _cmd_result, "wait"),
+        ("telemetry", _cmd_telemetry, None),
+        ("cancel", _cmd_cancel, None),
+        ("resume", _cmd_resume, None),
+    ):
+        p = client(sub.add_parser(name, help=f"{name} a job"))
+        p.add_argument("key")
+        if extra == "wait":
+            p.add_argument("--wait", type=float, default=0.0, help="seconds to block")
+        p.set_defaults(func=fn)
+
+    stats = client(sub.add_parser("stats", help="service statistics"))
+    stats.set_defaults(func=_cmd_stats)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,220 @@
+"""Preemptible job execution: one FCI solve, checkpointed and observable.
+
+The executor is where the service composes the library machinery built in
+earlier layers into a single cancellable unit of work:
+
+* the **workspace cache** hands it a compiled problem (integrals, SCF,
+  excitation tables, cached :class:`~repro.core.plans.SigmaPlan`) shared
+  with every job in the same CI-space family;
+* a :class:`ServiceCheckpointer` - the stock atomic CRC-verified
+  :class:`~repro.core.checkpoint.Checkpointer` plus cooperative
+  interruption - persists the solver's restart state every iteration and
+  turns cancellation, per-job timeouts, and deterministic chaos-style
+  preemption into *durable* interruptions: the state that raised is the
+  state already on disk, so a resumed job replays the exact iteration
+  sequence an uninterrupted one would have run;
+* a per-job :class:`~repro.obs.Telemetry` streams every solver iteration
+  (energy, residual norm, step length) into the job record and an
+  append-only JSON-lines file clients can tail.
+
+Preemption is iteration-granular by design: the solvers call
+``checkpoint.maybe_save`` exactly once per iteration, which is the only
+point where the whole restart state is coherent.  Finer-grained
+interruption would tear eq. 14-15's retroactive bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+
+from ..core.checkpoint import Checkpointer, CheckpointState
+from ..core.solver import FCISolver
+from ..obs import Telemetry
+
+__all__ = ["JobPreempted", "JobTimeout", "ServiceCheckpointer", "SolveExecutor"]
+
+logger = logging.getLogger(__name__)
+
+
+class JobPreempted(RuntimeError):
+    """The job was interrupted cooperatively; its checkpoint is durable."""
+
+
+class JobTimeout(RuntimeError):
+    """The job exceeded its wall-clock budget; its checkpoint is durable."""
+
+
+class ServiceCheckpointer(Checkpointer):
+    """A Checkpointer that doubles as the solve's cooperative interrupt point.
+
+    Parameters beyond the base class:
+
+    cancel_event:
+        A :class:`threading.Event`; once set, the next per-iteration save
+        persists the state and raises :class:`JobPreempted`.
+    deadline:
+        ``time.monotonic()`` instant after which the next save persists
+        the state and raises :class:`JobTimeout`.
+    preempt_after:
+        Deterministic chaos hook: preempt as soon as ``state.iteration``
+        reaches this count.  Tests use it to interrupt a solve at an exact,
+        reproducible iteration instead of racing a wall clock.
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        every: int = 1,
+        telemetry=None,
+        faults=None,
+        cancel_event=None,
+        deadline: float | None = None,
+        preempt_after: int | None = None,
+    ):
+        super().__init__(path, every=every, telemetry=telemetry, faults=faults)
+        self.cancel_event = cancel_event
+        self.deadline = deadline
+        self.preempt_after = preempt_after
+
+    def maybe_save(self, state: CheckpointState, *, force: bool = False) -> bool:
+        preempt = (self.cancel_event is not None and self.cancel_event.is_set()) or (
+            self.preempt_after is not None and state.iteration >= self.preempt_after
+        )
+        timed_out = self.deadline is not None and time.monotonic() > self.deadline
+        if preempt or timed_out:
+            # durability before interruption: the exception only fires once
+            # the interrupting state is safely on disk
+            self.save(state)
+            if preempt:
+                raise JobPreempted(
+                    f"preempted at iteration {state.iteration} (checkpoint saved)"
+                )
+            raise JobTimeout(
+                f"timed out at iteration {state.iteration} (checkpoint saved)"
+            )
+        return super().maybe_save(state, force=force)
+
+
+class SolveExecutor:
+    """Runs one job record end to end on the calling (worker) thread."""
+
+    def __init__(self, cache, workdir, *, default_parallel: dict | None = None):
+        self.cache = cache
+        self.workdir = os.fspath(workdir)
+        self.default_parallel = default_parallel
+        self.checkpoint_dir = os.path.join(self.workdir, "checkpoints")
+        self.telemetry_dir = os.path.join(self.workdir, "telemetry")
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        os.makedirs(self.telemetry_dir, exist_ok=True)
+        self.solves = 0  # completed solves actually executed (not cache hits)
+
+    def checkpoint_path(self, job_key: str) -> str:
+        return os.path.join(self.checkpoint_dir, f"{job_key}.npz")
+
+    def telemetry_path(self, job_key: str) -> str:
+        return os.path.join(self.telemetry_dir, f"{job_key}.jsonl")
+
+    def _solver(self, spec, *, telemetry=None, checkpoint=None, workspace=None):
+        kwargs = spec.solver_kwargs()
+        if kwargs.get("parallel") is None and self.default_parallel is not None:
+            kwargs["parallel"] = dict(self.default_parallel)
+        if workspace is not None:
+            kwargs["ao_integrals"] = workspace.ao
+            kwargs["scf_result"] = workspace.scf
+        return FCISolver(
+            spec.molecule(),
+            spec.basis,
+            telemetry=telemetry,
+            checkpoint=checkpoint,
+            **kwargs,
+        )
+
+    def validate(self, spec) -> None:
+        """Fail fast on an unbuildable spec (bad algorithm/method/backend).
+
+        Constructing the solver runs all constructor-time validation but no
+        SCF or integrals, so a bad submission is rejected at submit time
+        instead of dying on a worker.
+        """
+        spec.molecule()  # electron-count / multiplicity consistency
+        self._solver(spec)
+
+    def execute(self, record, *, faults=None, preempt_after=None) -> dict:
+        """Solve ``record``'s job; returns the result payload on success.
+
+        Raises :class:`JobPreempted` / :class:`JobTimeout` for durable
+        interruptions and lets genuine failures (including injected
+        checkpoint I/O crashes) propagate to the scheduler.
+        """
+        spec = record.spec
+        events_file = open(self.telemetry_path(record.key), "a", buffering=1)
+
+        def stream(event: dict) -> None:
+            event = {"job": record.key, **event}
+            record.events.append(event)
+            events_file.write(json.dumps(event) + "\n")
+
+        telemetry = Telemetry(on_iteration=stream)
+        deadline = (
+            time.monotonic() + record.timeout if record.timeout is not None else None
+        )
+        checkpoint = ServiceCheckpointer(
+            self.checkpoint_path(record.key),
+            telemetry=telemetry,
+            faults=faults,
+            cancel_event=record.cancel_event,
+            deadline=deadline,
+            preempt_after=preempt_after,
+        )
+
+        def build_workspace():
+            from .cache import Workspace
+
+            solver = self._solver(spec, telemetry=telemetry)
+            problem, scf, mo = solver.build_problem()
+            return Workspace(
+                space_key=spec.space_key,
+                ao=solver._ao,
+                scf=scf,
+                mo=mo,
+                problem=problem,
+            )
+
+        try:
+            workspace, ws_hit = self.cache.workspace(spec.space_key, build_workspace)
+            solver = self._solver(
+                spec, telemetry=telemetry, checkpoint=checkpoint, workspace=workspace
+            )
+            result = solver.run(
+                prebuilt=(workspace.problem, workspace.scf, workspace.mo)
+            )
+        finally:
+            events_file.close()
+
+        payload = {
+            "energy": result.energy,
+            "scf_energy": result.scf_energy,
+            "correlation_energy": result.correlation_energy,
+            "converged": bool(result.solve.converged),
+            "n_iterations": int(result.solve.n_iterations),
+            "n_sigma": int(result.n_sigma),
+            "s_squared": float(result.s_squared),
+            "dimension": int(result.problem.dimension),
+            "method": result.solve.method,
+            "workspace_hit": bool(ws_hit),
+        }
+        self.cache.put_result(record.key, payload, result.vector)
+        checkpoint.clear()  # the durable artifact is now the cached result
+        self.solves += 1
+        logger.info(
+            "job %s solved: E=%.10f in %d iterations (workspace %s)",
+            record.key[:12],
+            result.energy,
+            result.solve.n_iterations,
+            "hit" if ws_hit else "compiled",
+        )
+        return payload

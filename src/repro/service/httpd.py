@@ -1,0 +1,220 @@
+"""Minimal HTTP surface over :class:`~repro.service.service.FCIService`.
+
+Pure stdlib (``http.server``), JSON in/JSON out, one threading server so
+slow handlers never block health checks.  Routes (all under ``/v1``):
+
+====== ============================  =============================================
+verb   path                          meaning
+------ ----------------------------  ---------------------------------------------
+GET    /v1/healthz                   liveness probe
+GET    /v1/stats                     service statistics (queue, cache, fleet)
+GET    /v1/jobs                      all job summaries
+POST   /v1/jobs                      submit: ``{"spec": {...}, "priority": ...,
+                                     "timeout": ..., "force": ...}`` or a bare
+                                     spec dict; 429 on queue-full backpressure
+GET    /v1/jobs/<key>                status snapshot (checkpoint info if resumable)
+GET    /v1/jobs/<key>/result         result; ``?wait=<seconds>`` blocks for it
+GET    /v1/jobs/<key>/telemetry      per-iteration telemetry as JSON lines
+POST   /v1/jobs/<key>/cancel         dequeue or preempt
+POST   /v1/jobs/<key>/resume         re-enqueue from the checkpoint
+====== ============================  =============================================
+
+Submissions respond with ``{"key", "state", "deduped", "cache_hit"}`` so a
+client can tell a fresh solve from a dedupe or a served-from-cache answer.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from .jobs import JobState
+from .scheduler import QueueFullError
+
+__all__ = ["ServiceHTTPServer"]
+
+logger = logging.getLogger(__name__)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-fci-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self):
+        return self.server.service
+
+    def log_message(self, fmt, *args):  # route access logs into `logging`
+        logger.debug("%s - %s", self.address_string(), fmt % args)
+
+    # -- plumbing ------------------------------------------------------------
+    def _send(self, code: int, payload, *, content_type="application/json") -> None:
+        body = (
+            payload
+            if isinstance(payload, (bytes, bytearray))
+            else (json.dumps(payload) + "\n").encode()
+        )
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str) -> None:
+        self._send(code, {"error": message})
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if not length:
+            return {}
+        return json.loads(self.rfile.read(length).decode())
+
+    def _route(self):
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        if not parts or parts[0] != "v1":
+            return None, None, query
+        return parts[1:], url, query
+
+    # -- verbs ---------------------------------------------------------------
+    def do_GET(self):  # noqa: N802 (stdlib handler naming)
+        parts, _url, query = self._route()
+        try:
+            if parts == ["healthz"]:
+                return self._send(200, {"ok": True})
+            if parts == ["stats"]:
+                return self._send(200, self.service.stats())
+            if parts == ["jobs"]:
+                return self._send(200, {"jobs": self.service.jobs()})
+            if parts and parts[0] == "jobs" and len(parts) == 2:
+                return self._send(200, self.service.status(parts[1]))
+            if parts and parts[0] == "jobs" and len(parts) == 3:
+                key, leaf = parts[1], parts[2]
+                if leaf == "telemetry":
+                    lines = "".join(
+                        json.dumps(e) + "\n" for e in self.service.iterations(key)
+                    )
+                    return self._send(
+                        200, lines.encode(), content_type="application/x-ndjson"
+                    )
+                if leaf == "result":
+                    wait = float(query.get("wait", 0.0))
+                    rec = self.service.wait(key, wait) if wait else self.service.get(key)
+                    if rec.state != JobState.COMPLETED:
+                        return self._send(
+                            409,
+                            {"key": key, "state": rec.state, "error": rec.error},
+                        )
+                    return self._send(
+                        200, {"key": key, "state": rec.state, "result": rec.result}
+                    )
+        except KeyError as exc:
+            return self._error(404, str(exc))
+        except TimeoutError as exc:
+            return self._error(408, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            logger.exception("GET %s failed", self.path)
+            return self._error(500, f"{type(exc).__name__}: {exc}")
+        return self._error(404, f"no route for GET {self.path}")
+
+    def do_POST(self):  # noqa: N802
+        parts, _url, _query = self._route()
+        try:
+            if parts == ["jobs"]:
+                body = self._read_json()
+                spec = body.get("spec", body if "atoms" in body else None)
+                if spec is None:
+                    return self._error(400, "submit body needs 'spec' (or bare spec)")
+                rec = self.service.submit(
+                    spec,
+                    priority=body.get("priority", "normal"),
+                    timeout=body.get("timeout"),
+                    force=bool(body.get("force", False)),
+                )
+                return self._send(
+                    202 if rec.state in JobState.ACTIVE else 200,
+                    {
+                        "key": rec.key,
+                        "state": rec.state,
+                        "deduped": rec.deduped > 0,
+                        "cache_hit": rec.cache_hit,
+                    },
+                )
+            if parts and parts[0] == "jobs" and len(parts) == 3:
+                key, action = parts[1], parts[2]
+                if action == "cancel":
+                    state = self.service.cancel(key)
+                    return self._send(200, {"key": key, "state": state})
+                if action == "resume":
+                    rec = self.service.resume(key)
+                    return self._send(202, {"key": key, "state": rec.state})
+        except QueueFullError as exc:
+            return self._error(429, str(exc))
+        except KeyError as exc:
+            return self._error(404, str(exc))
+        except (ValueError, RuntimeError) as exc:
+            return self._error(400, f"{type(exc).__name__}: {exc}")
+        except Exception as exc:  # pragma: no cover - defensive
+            logger.exception("POST %s failed", self.path)
+            return self._error(500, f"{type(exc).__name__}: {exc}")
+        return self._error(404, f"no route for POST {self.path}")
+
+
+class ServiceHTTPServer:
+    """A threading HTTP server bound to one :class:`FCIService`.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`port` reports the
+    actual one.  :meth:`start` serves on a daemon thread; :meth:`stop`
+    shuts the socket down (the service itself is stopped by its owner).
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0):
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.daemon_threads = True
+        self.httpd.service = service
+        self.service = service
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceHTTPServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.httpd.serve_forever, name="fci-httpd", daemon=True
+            )
+            self._thread.start()
+        logger.info("FCI service listening on %s", self.url)
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI daemon's foreground mode)."""
+        logger.info("FCI service listening on %s", self.url)
+        self.httpd.serve_forever()
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()
+        return False

@@ -1,0 +1,151 @@
+"""Priority job queue and the worker fleet that drains it.
+
+The queue is a bounded binary heap ordered by ``(tier, sequence)``: lower
+tiers run first, FIFO within a tier.  ``maxsize`` is the backpressure
+valve - a push beyond it raises :class:`QueueFullError`, which the service
+surfaces as a submit rejection (HTTP 429) instead of letting an unbounded
+backlog eat the box.
+
+The scheduler owns ``n_workers`` daemon threads, each a slot of the worker
+fleet.  A worker pops a key, asks the service to transition the record to
+RUNNING (jobs cancelled while queued are skipped here - cancellation
+removes eagerly from the heap too, but the pop-side check makes the race
+benign), runs the executor, and reports the outcome back.  The numeric
+work releases the GIL inside BLAS, and a job spec may additionally request
+the ``shm`` process backend, making each worker slot the front of a whole
+:class:`~repro.parallel.backend.Backend` fleet member.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import logging
+import threading
+
+__all__ = ["QueueFullError", "JobQueue", "Scheduler"]
+
+logger = logging.getLogger(__name__)
+
+
+class QueueFullError(RuntimeError):
+    """Backpressure: the job queue is at capacity; the submit is rejected."""
+
+
+class JobQueue:
+    """Bounded, thread-safe priority queue of job keys."""
+
+    def __init__(self, maxsize: int = 64):
+        self.maxsize = max(1, int(maxsize))
+        self._heap: list[tuple[int, int, str]] = []
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    def push(self, key: str, tier: int) -> None:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            if len(self._heap) >= self.maxsize:
+                raise QueueFullError(
+                    f"job queue is full ({self.maxsize} pending); retry later"
+                )
+            heapq.heappush(self._heap, (int(tier), next(self._seq), key))
+            self._not_empty.notify()
+
+    def pop(self, timeout: float | None = None) -> str | None:
+        """Lowest-tier, oldest key; None on timeout or when closed and empty."""
+        with self._not_empty:
+            if not self._heap and not self._closed:
+                self._not_empty.wait(timeout)
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)[2]
+
+    def remove(self, key: str) -> bool:
+        """Eagerly drop a queued key (cancellation)."""
+        with self._lock:
+            kept = [e for e in self._heap if e[2] != key]
+            removed = len(kept) != len(self._heap)
+            if removed:
+                self._heap = kept
+                heapq.heapify(self._heap)
+            return removed
+
+    def close(self) -> None:
+        """Wake blocked pops and refuse new pushes (fleet shutdown)."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def reopen(self) -> None:
+        """Accept pushes again (fleet restart after :meth:`close`)."""
+        with self._lock:
+            self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+
+class Scheduler:
+    """The worker fleet: N threads draining the queue through the executor."""
+
+    def __init__(self, service, queue: JobQueue, n_workers: int = 2, poll: float = 0.2):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.service = service
+        self.queue = queue
+        self.n_workers = int(n_workers)
+        self.poll = float(poll)
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self.execution_order: list[str] = []  # keys in the order workers took them
+        self._order_lock = threading.Lock()
+
+    @property
+    def running(self) -> bool:
+        return bool(self._threads) and not self._stop.is_set()
+
+    def start(self) -> None:
+        if self._threads:
+            return
+        self._stop.clear()
+        self.queue.reopen()
+        for i in range(self.n_workers):
+            t = threading.Thread(
+                target=self._worker, args=(i,), name=f"fci-worker-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def stop(self, wait: bool = True, timeout: float | None = 30.0) -> None:
+        self._stop.set()
+        self.queue.close()
+        if wait:
+            for t in self._threads:
+                t.join(timeout)
+        self._threads = []
+
+    def _worker(self, worker_id: int) -> None:
+        while not self._stop.is_set():
+            key = self.queue.pop(timeout=self.poll)
+            if key is None:
+                continue
+            record = self.service._begin(key, worker_id)
+            if record is None:  # cancelled while queued, or stale entry
+                continue
+            with self._order_lock:
+                self.execution_order.append(key)
+            try:
+                payload = self.service.executor.execute(
+                    record,
+                    faults=self.service.checkpoint_faults,
+                    preempt_after=record.preempt_after,
+                )
+            except Exception as exc:  # preemption, timeout, or real failure
+                self.service._finish(record, error=exc)
+            else:
+                self.service._finish(record, payload=payload)
+        logger.debug("worker %d stopped", worker_id)

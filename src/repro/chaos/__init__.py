@@ -1,0 +1,48 @@
+"""Chaos engineering for the FCI stack: scenario library + fuzzer.
+
+:mod:`repro.faults` provides the *mechanisms* (seeded injectors for the
+simulated X1, the checkpointer, and the service layer); this package
+provides the *search*: composable seeded scenario generators
+(:mod:`.plans`) and a property-based fuzzer (:mod:`.fuzz`) that draws
+random fault schedules inside a budget grammar, executes them through the
+parallel sigma / checkpointed solver / FCIService harnesses, checks the
+recovery invariants, and shrinks any failure to a minimal JSON reproducer.
+
+CLI: ``python -m repro.chaos {fuzz,replay,scenarios}``.
+"""
+
+from .fuzz import (
+    FuzzBudget,
+    FuzzCase,
+    FuzzReport,
+    FuzzRunner,
+    Violation,
+    shrink,
+)
+from .plans import (
+    CHAOS_SCENARIOS,
+    SERVICE_SCENARIOS,
+    ChaosEnv,
+    build_fault_plan,
+    build_service_plan,
+    chaos_scenario_names,
+    register_chaos_scenario,
+    service_scenario_names,
+)
+
+__all__ = [
+    "ChaosEnv",
+    "CHAOS_SCENARIOS",
+    "SERVICE_SCENARIOS",
+    "register_chaos_scenario",
+    "chaos_scenario_names",
+    "service_scenario_names",
+    "build_fault_plan",
+    "build_service_plan",
+    "FuzzBudget",
+    "FuzzCase",
+    "FuzzReport",
+    "FuzzRunner",
+    "Violation",
+    "shrink",
+]

@@ -1,0 +1,152 @@
+"""``python -m repro.chaos`` - fuzz, replay, and inspect chaos scenarios.
+
+Subcommands:
+
+``fuzz``
+    Run a seeded batch of generated FaultPlans through the harnesses.
+    ``--seeds N`` (count), ``--start S`` (first seed), ``--time-budget``
+    (wall seconds; the batch truncates rather than overruns),
+    ``--min-executed`` (fail if truncation cut below this floor),
+    ``--reproducers DIR`` (where shrunk failures are persisted),
+    ``--report FILE`` (write the batch report JSON).  Exit 1 on any
+    violation, 2 if fewer than ``--min-executed`` cases ran.
+
+``replay``
+    Re-run one case: ``replay 1234`` regenerates seed 1234's case from
+    scratch; ``replay --file repro.json`` loads a persisted reproducer
+    (the shrunk case when present).  Exit 1 if the invariant is (still)
+    violated - so a fixed bug replays to exit 0.
+
+``scenarios``
+    List the registered X1 and service chaos scenarios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import sys
+
+from .fuzz import FuzzBudget, FuzzCase, FuzzRunner
+from .plans import chaos_scenario_names, service_scenario_names
+
+__all__ = ["main"]
+
+
+def _cmd_fuzz(args) -> int:
+    runner = FuzzRunner(FuzzBudget())
+    seeds = range(args.start, args.start + args.seeds)
+    report = runner.fuzz(
+        seeds,
+        time_budget=args.time_budget,
+        reproducer_dir=args.reproducers,
+        do_shrink=not args.no_shrink,
+    )
+    payload = report.to_dict()
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+    if report.violations:
+        for v in report.violations:
+            shrunk = v["shrunk"]
+            print(
+                f"VIOLATION seed={v['seed']} {v['harness']}/{v['invariant']}: "
+                f"{v['detail']}\n  minimal reproducer: {json.dumps(shrunk)}",
+                file=sys.stderr,
+            )
+        return 1
+    if args.min_executed and report.executed < args.min_executed:
+        print(
+            f"only {report.executed} cases executed "
+            f"(< --min-executed {args.min_executed})",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"ok: {report.executed} cases, 0 violations ({report.elapsed_s:.1f}s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    runner = FuzzRunner(FuzzBudget())
+    if args.file:
+        with open(args.file) as f:
+            payload = json.load(f)
+        case_dict = payload.get("shrunk") or payload.get("case") or payload
+        case = FuzzCase.from_dict(case_dict)
+        print(f"replaying persisted case (seed {case.seed}, {case.harness})")
+    elif args.seed is not None:
+        case = runner.case_for_seed(args.seed)
+        print(f"replaying seed {args.seed}: {case.harness} {list(case.scenarios)}")
+    else:
+        print("replay needs a seed or --file", file=sys.stderr)
+        return 2
+    failure = runner.run_case(case)
+    if failure is None:
+        print("ok: all invariants held")
+        return 0
+    invariant, detail = failure
+    print(f"VIOLATION {invariant}: {detail}", file=sys.stderr)
+    print(json.dumps(case.to_dict(), indent=2, sort_keys=True))
+    return 1
+
+
+def _cmd_scenarios(_args) -> int:
+    print("X1 chaos scenarios (compose into a FaultPlan):")
+    for name in chaos_scenario_names():
+        print(f"  {name}")
+    print("service chaos scenarios (compose into a ServiceFaultPlan):")
+    for name in service_scenario_names():
+        print(f"  {name}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="property-based fuzzing of the fault/recovery machinery",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fuzz", help="run a seeded batch of generated fault plans")
+    p.add_argument("--seeds", type=int, default=200, help="number of seeds (default 200)")
+    p.add_argument("--start", type=int, default=0, help="first seed (default 0)")
+    p.add_argument(
+        "--time-budget", type=float, default=None, help="wall-clock cap in seconds"
+    )
+    p.add_argument(
+        "--min-executed",
+        type=int,
+        default=0,
+        help="fail (exit 2) if the time budget cut the batch below this",
+    )
+    p.add_argument(
+        "--reproducers", default=None, help="directory for shrunk failing cases"
+    )
+    p.add_argument("--report", default=None, help="write the batch report JSON here")
+    p.add_argument("--no-shrink", action="store_true", help="skip shrinking failures")
+    p.set_defaults(fn=_cmd_fuzz)
+
+    p = sub.add_parser("replay", help="re-run one seed or a persisted reproducer")
+    p.add_argument("seed", type=int, nargs="?", help="seed to regenerate and run")
+    p.add_argument("--file", default=None, help="persisted reproducer JSON")
+    p.set_defaults(fn=_cmd_replay)
+
+    p = sub.add_parser("scenarios", help="list registered chaos scenarios")
+    p.set_defaults(fn=_cmd_scenarios)
+
+    args = parser.parse_args(argv)
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.WARNING,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

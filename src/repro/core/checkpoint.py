@@ -144,7 +144,11 @@ class Checkpointer:
         try:
             with np.load(self.path) as z:
                 return json.loads(bytes(z["header"].tobytes()).decode())
-        except Exception:
+        except Exception as exc:
+            # a file that exists but cannot even surrender its header is
+            # corrupt (truncated npz, torn write): a miss, never a crash
+            logger.warning("unreadable checkpoint header %r: %s", self.path, exc)
+            self._count("solver.checkpoint.peek_failed")
             return None
 
     def load(self) -> CheckpointState | None:

@@ -21,7 +21,8 @@ accept an injector duck-typed, so nothing here imports the simulator.
 """
 
 from .injector import DEFAULT_MUTEX_LEASE, FaultInjector, FaultPlan, StallWindow
-from .scenarios import SCENARIOS, ChaosConfig
+from .scenarios import SCENARIOS, ChaosConfig, register_scenario, scenario_names
+from .service import ServiceFaultInjector, ServiceFaultPlan, WorkerCrashed
 
 __all__ = [
     "FaultPlan",
@@ -29,5 +30,10 @@ __all__ = [
     "StallWindow",
     "ChaosConfig",
     "SCENARIOS",
+    "scenario_names",
+    "register_scenario",
+    "ServiceFaultPlan",
+    "ServiceFaultInjector",
+    "WorkerCrashed",
     "DEFAULT_MUTEX_LEASE",
 ]

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 
 import numpy as np
 
@@ -94,6 +95,64 @@ class FaultPlan:
             or self.corrupt
             or self.io_error
         )
+
+    # -- JSON round-trip (chaos reproducers persist plans with their seed) ----
+    def to_dict(self) -> dict:
+        """JSON-ready representation; inverse of :meth:`from_dict`.
+
+        ``inf`` stall endpoints serialize as the string ``"inf"`` so the
+        payload stays valid strict JSON (replayable by any tool, not just
+        Python's permissive parser).
+        """
+
+        def _num(x: float):
+            return "inf" if math.isinf(x) else float(x)
+
+        return {
+            "seed": int(self.seed),
+            "deaths": {str(r): float(t) for r, t in sorted(self.deaths.items())},
+            "stalls": [
+                {
+                    "rank": w.rank,
+                    "t0": _num(w.t0),
+                    "t1": _num(w.t1),
+                    "slowdown": float(w.slowdown),
+                }
+                for w in self.stalls
+            ],
+            "drop_get": self.drop_get,
+            "drop_put": self.drop_put,
+            "delay_prob": self.delay_prob,
+            "delay_seconds": self.delay_seconds,
+            "mutex_jitter": self.mutex_jitter,
+            "corrupt": self.corrupt,
+            "corrupt_mode": self.corrupt_mode,
+            "io_error": self.io_error,
+            "op_timeout": self.op_timeout,
+            "mutex_lease": self.mutex_lease,
+            "max_retries": self.max_retries,
+            "retry_backoff": self.retry_backoff,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (JSON-decoded)."""
+        data = dict(data)
+        known = {f.name for f in dataclass_fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {', '.join(sorted(unknown))}")
+        data["deaths"] = {int(r): float(t) for r, t in data.get("deaths", {}).items()}
+        data["stalls"] = [
+            StallWindow(
+                rank=int(w["rank"]),
+                t0=float(w.get("t0", 0.0)),
+                t1=float(w.get("t1", math.inf)),
+                slowdown=float(w.get("slowdown", 4.0)),
+            )
+            for w in data.get("stalls", [])
+        ]
+        return cls(**data)
 
 
 class FaultInjector:

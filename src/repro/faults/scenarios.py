@@ -17,7 +17,7 @@ from typing import Callable
 from ..obs.metrics import MetricsRegistry
 from .injector import FaultInjector, FaultPlan, StallWindow
 
-__all__ = ["ChaosConfig", "SCENARIOS"]
+__all__ = ["ChaosConfig", "SCENARIOS", "scenario_names", "register_scenario"]
 
 
 def _slow_rank(cfg: "ChaosConfig") -> dict:
@@ -69,6 +69,20 @@ SCENARIOS: dict[str, Callable[["ChaosConfig"], dict]] = {
 }
 
 
+def scenario_names() -> list[str]:
+    """The registered chaos scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+def register_scenario(name: str, fn: Callable[["ChaosConfig"], dict]) -> None:
+    """Register a named scenario (``(cfg) -> FaultPlan field overrides``)."""
+    if not name or not isinstance(name, str):
+        raise ValueError("scenario name must be a non-empty string")
+    if name in SCENARIOS:
+        raise ValueError(f"scenario {name!r} is already registered")
+    SCENARIOS[name] = fn
+
+
 @dataclass
 class ChaosConfig:
     """Composition of named scenarios into one seeded fault plan.
@@ -99,7 +113,7 @@ class ChaosConfig:
         unknown = [s for s in self.scenarios if s not in SCENARIOS]
         if unknown:
             raise ValueError(
-                f"unknown chaos scenario(s) {unknown}; known: {sorted(SCENARIOS)}"
+                f"unknown chaos scenario(s) {unknown}; registered: {scenario_names()}"
             )
 
     def build_plan(self) -> FaultPlan:

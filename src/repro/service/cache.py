@@ -69,9 +69,10 @@ class ArtifactCache:
     dense W/G supermatrices, so the bound is a real memory ceiling.
     """
 
-    def __init__(self, root=None, *, max_workspaces: int = 8):
+    def __init__(self, root=None, *, max_workspaces: int = 8, faults=None):
         self.root = os.fspath(root) if root is not None else None
         self.max_workspaces = max(1, int(max_workspaces))
+        self.faults = faults  # ServiceFaultInjector or None (chaos hook)
         self._workspaces: OrderedDict[str, Workspace] = OrderedDict()
         self._results_mem: dict[str, tuple[dict, np.ndarray]] = {}
         self._lock = threading.RLock()
@@ -81,6 +82,7 @@ class ArtifactCache:
             "workspace_evictions": 0,
             "result_hits": 0,
             "result_misses": 0,
+            "result_corrupt": 0,
         }
         if self.root is not None:
             os.makedirs(self._results_dir, exist_ok=True)
@@ -143,6 +145,8 @@ class ArtifactCache:
             f.flush()
             os.fsync(f.fileno())
         os.replace(tmp, path)
+        if self.faults is not None:
+            self.faults.corrupt_result(path)
 
     def get_result(self, job_key: str) -> tuple[dict, np.ndarray] | None:
         """The memoized ``(meta, vector)`` for a job key, or None."""
@@ -176,6 +180,10 @@ class ArtifactCache:
                 raise ValueError("CRC32 mismatch")
         except Exception as exc:
             logger.warning("dropping corrupt cached result %s: %s", path, exc)
+            with self._lock:
+                self.counts["result_corrupt"] += 1
+            if self.faults is not None:
+                self.faults.note_recovered("result_corrupt_dropped")
             try:
                 os.remove(path)
             except OSError:

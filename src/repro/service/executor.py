@@ -32,6 +32,7 @@ import time
 
 from ..core.checkpoint import Checkpointer, CheckpointState
 from ..core.solver import FCISolver
+from ..faults.service import WorkerCrashed
 from ..obs import Telemetry
 
 __all__ = ["JobPreempted", "JobTimeout", "ServiceCheckpointer", "SolveExecutor"]
@@ -62,6 +63,12 @@ class ServiceCheckpointer(Checkpointer):
         Deterministic chaos hook: preempt as soon as ``state.iteration``
         reaches this count.  Tests use it to interrupt a solve at an exact,
         reproducible iteration instead of racing a wall clock.
+    service_faults:
+        A :class:`~repro.faults.ServiceFaultInjector`; when its seeded
+        ``worker_crashes`` oracle fires, the save raises
+        :class:`~repro.faults.WorkerCrashed` *without* persisting - the
+        worker thread dies abruptly and only the last on-grid checkpoint
+        survives, exactly like a thread killed mid-iteration.
     """
 
     def __init__(
@@ -74,13 +81,19 @@ class ServiceCheckpointer(Checkpointer):
         cancel_event=None,
         deadline: float | None = None,
         preempt_after: int | None = None,
+        service_faults=None,
     ):
         super().__init__(path, every=every, telemetry=telemetry, faults=faults)
         self.cancel_event = cancel_event
         self.deadline = deadline
         self.preempt_after = preempt_after
+        self.service_faults = service_faults
 
     def maybe_save(self, state: CheckpointState, *, force: bool = False) -> bool:
+        if self.service_faults is not None and self.service_faults.worker_crashes():
+            raise WorkerCrashed(
+                f"injected worker death at iteration {state.iteration}"
+            )
         preempt = (self.cancel_event is not None and self.cancel_event.is_set()) or (
             self.preempt_after is not None and state.iteration >= self.preempt_after
         )
@@ -111,6 +124,7 @@ class SolveExecutor:
         os.makedirs(self.checkpoint_dir, exist_ok=True)
         os.makedirs(self.telemetry_dir, exist_ok=True)
         self.solves = 0  # completed solves actually executed (not cache hits)
+        self.telemetry_io_errors = 0  # stream writes swallowed (observability)
 
     def checkpoint_path(self, job_key: str) -> str:
         return os.path.join(self.checkpoint_dir, f"{job_key}.npz")
@@ -143,12 +157,17 @@ class SolveExecutor:
         spec.molecule()  # electron-count / multiplicity consistency
         self._solver(spec)
 
-    def execute(self, record, *, faults=None, preempt_after=None) -> dict:
+    def execute(self, record, *, faults=None, preempt_after=None, service_faults=None) -> dict:
         """Solve ``record``'s job; returns the result payload on success.
 
         Raises :class:`JobPreempted` / :class:`JobTimeout` for durable
         interruptions and lets genuine failures (including injected
         checkpoint I/O crashes) propagate to the scheduler.
+
+        Telemetry streaming is observability, never correctness: an I/O
+        error on the JSON-lines file (injected or real - full disk, lost
+        mount) is counted under ``service.telemetry.io_errors`` and the
+        solve continues; the in-memory event list still fills.
         """
         spec = record.spec
         events_file = open(self.telemetry_path(record.key), "a", buffering=1)
@@ -156,12 +175,20 @@ class SolveExecutor:
         def stream(event: dict) -> None:
             event = {"job": record.key, **event}
             record.events.append(event)
-            events_file.write(json.dumps(event) + "\n")
+            try:
+                if service_faults is not None and service_faults.telemetry_write_fails():
+                    raise OSError("injected telemetry stream I/O error")
+                events_file.write(json.dumps(event) + "\n")
+            except (OSError, ValueError):  # ValueError: write on a closed file
+                self.telemetry_io_errors += 1
 
         telemetry = Telemetry(on_iteration=stream)
         deadline = (
             time.monotonic() + record.timeout if record.timeout is not None else None
         )
+        if faults is None and service_faults is not None:
+            # ServiceFaultInjector duck-types Checkpointer's io_fails hook
+            faults = service_faults
         checkpoint = ServiceCheckpointer(
             self.checkpoint_path(record.key),
             telemetry=telemetry,
@@ -169,6 +196,7 @@ class SolveExecutor:
             cancel_event=record.cancel_event,
             deadline=deadline,
             preempt_after=preempt_after,
+            service_faults=service_faults,
         )
 
         def build_workspace():

@@ -17,6 +17,7 @@ GET    /v1/jobs/<key>/result         result; ``?wait=<seconds>`` blocks for it
 GET    /v1/jobs/<key>/telemetry      per-iteration telemetry as JSON lines
 POST   /v1/jobs/<key>/cancel         dequeue or preempt
 POST   /v1/jobs/<key>/resume         re-enqueue from the checkpoint
+POST   /v1/reap                      recover jobs abandoned by dead workers
 ====== ============================  =============================================
 
 Submissions respond with ``{"key", "state", "deduped", "cache_hit"}`` so a
@@ -31,7 +32,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
-from .jobs import JobState
+from .jobs import JobState, JobStateError
 from .scheduler import QueueFullError
 
 __all__ = ["ServiceHTTPServer"]
@@ -144,6 +145,8 @@ class _Handler(BaseHTTPRequestHandler):
                         "cache_hit": rec.cache_hit,
                     },
                 )
+            if parts == ["reap"]:
+                return self._send(200, self.service.reap())
             if parts and parts[0] == "jobs" and len(parts) == 3:
                 key, action = parts[1], parts[2]
                 if action == "cancel":
@@ -156,6 +159,10 @@ class _Handler(BaseHTTPRequestHandler):
             return self._error(429, str(exc))
         except KeyError as exc:
             return self._error(404, str(exc))
+        except JobStateError as exc:
+            # an illegal lifecycle transition is a client-state conflict,
+            # not a malformed request and never a server error
+            return self._error(409, f"JobStateError: {exc}")
         except (ValueError, RuntimeError) as exc:
             return self._error(400, f"{type(exc).__name__}: {exc}")
         except Exception as exc:  # pragma: no cover - defensive

@@ -23,6 +23,8 @@ import itertools
 import logging
 import threading
 
+from ..faults.service import WorkerCrashed
+
 __all__ = ["QueueFullError", "JobQueue", "Scheduler"]
 
 logger = logging.getLogger(__name__)
@@ -99,10 +101,12 @@ class Scheduler:
         self.queue = queue
         self.n_workers = int(n_workers)
         self.poll = float(poll)
-        self._threads: list[threading.Thread] = []
+        self._threads: dict[int, threading.Thread] = {}
         self._stop = threading.Event()
         self.execution_order: list[str] = []  # keys in the order workers took them
         self._order_lock = threading.Lock()
+        self.crashes = 0  # worker threads lost to (injected) WorkerCrashed
+        self.respawns = 0  # dead slots refilled by ensure_workers()
 
     @property
     def running(self) -> bool:
@@ -114,19 +118,49 @@ class Scheduler:
         self._stop.clear()
         self.queue.reopen()
         for i in range(self.n_workers):
-            t = threading.Thread(
-                target=self._worker, args=(i,), name=f"fci-worker-{i}", daemon=True
-            )
-            t.start()
-            self._threads.append(t)
+            self._spawn(i)
+
+    def _spawn(self, worker_id: int) -> None:
+        t = threading.Thread(
+            target=self._worker,
+            args=(worker_id,),
+            name=f"fci-worker-{worker_id}",
+            daemon=True,
+        )
+        self._threads[worker_id] = t
+        t.start()
+
+    def worker_alive(self, worker_id: int) -> bool:
+        """Is the thread currently holding this fleet slot alive?"""
+        t = self._threads.get(worker_id)
+        return t is not None and t.is_alive()
+
+    def ensure_workers(self) -> int:
+        """Respawn dead fleet slots; returns how many were refilled.
+
+        A worker thread can die abruptly (an injected
+        :class:`~repro.faults.WorkerCrashed`, or anything a real deployment
+        throws at a thread); the fleet must heal back to ``n_workers`` or
+        throughput silently degrades to zero.  Call sites:
+        :meth:`FCIService.reap` (after re-adopting the dead worker's job).
+        """
+        if not self._threads or self._stop.is_set():
+            return 0
+        respawned = 0
+        for i in range(self.n_workers):
+            if not self.worker_alive(i):
+                self._spawn(i)
+                respawned += 1
+        self.respawns += respawned
+        return respawned
 
     def stop(self, wait: bool = True, timeout: float | None = 30.0) -> None:
         self._stop.set()
         self.queue.close()
         if wait:
-            for t in self._threads:
+            for t in self._threads.values():
                 t.join(timeout)
-        self._threads = []
+        self._threads = {}
 
     def _worker(self, worker_id: int) -> None:
         while not self._stop.is_set():
@@ -143,7 +177,14 @@ class Scheduler:
                     record,
                     faults=self.service.checkpoint_faults,
                     preempt_after=record.preempt_after,
+                    service_faults=self.service.service_faults,
                 )
+            except WorkerCrashed as exc:
+                # simulated thread death: exit WITHOUT reporting an outcome,
+                # leaving the record RUNNING - FCIService.reap() recovers it
+                self.crashes += 1
+                logger.warning("worker %d died mid-solve: %s", worker_id, exc)
+                return
             except Exception as exc:  # preemption, timeout, or real failure
                 self.service._finish(record, error=exc)
             else:

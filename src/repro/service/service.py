@@ -70,6 +70,12 @@ class FCIService:
     checkpoint_faults:
         Optional :class:`repro.faults.FaultInjector` threaded into every
         job's checkpointer - the chaos hook the crash-resume tests use.
+    service_faults:
+        Optional :class:`repro.faults.ServiceFaultInjector` driving the
+        service-layer chaos hooks: worker-thread death mid-solve, result
+        corruption after persist, torn journal writes, telemetry-stream
+        I/O errors, checkpoint I/O crashes.  None (default) leaves every
+        path untouched.
     autostart:
         Start the worker fleet immediately (default).  Tests that need to
         stage the queue deterministically pass False and call
@@ -86,6 +92,7 @@ class FCIService:
         default_parallel: dict | None = None,
         max_workspaces: int = 8,
         checkpoint_faults=None,
+        service_faults=None,
         autostart: bool = True,
     ):
         self.workdir = os.fspath(workdir)
@@ -93,7 +100,10 @@ class FCIService:
         os.makedirs(self.jobs_dir, exist_ok=True)
         self.default_timeout = default_timeout
         self.checkpoint_faults = checkpoint_faults
-        self.cache = ArtifactCache(self.workdir, max_workspaces=max_workspaces)
+        self.service_faults = service_faults
+        self.cache = ArtifactCache(
+            self.workdir, max_workspaces=max_workspaces, faults=service_faults
+        )
         self.executor = SolveExecutor(
             self.cache, self.workdir, default_parallel=default_parallel
         )
@@ -102,6 +112,8 @@ class FCIService:
         self._records: dict[str, JobRecord] = {}
         self._lock = threading.RLock()
         self._started_at = time.time()
+        self.recovery = {"readopted": 0, "skipped_journals": 0, "reaped": 0}
+        self.late_finishes = 0  # outcomes reported for already-terminal jobs
         self._recover()
         if autostart:
             self.start()
@@ -256,6 +268,19 @@ class FCIService:
 
     def _finish(self, rec: JobRecord, *, payload=None, error=None) -> None:
         with self._lock:
+            if rec.state != JobState.RUNNING:
+                # the job was reaped/preempted out from under its worker and
+                # the outcome arrived late: the record's terminal state wins
+                # (a completed payload is already in the artifact cache, so
+                # a resume turns into a cache hit - nothing is lost)
+                self.late_finishes += 1
+                logger.warning(
+                    "dropping late %s for %s job %s",
+                    "result" if payload is not None else f"error ({error})",
+                    rec.state,
+                    rec.key[:12],
+                )
+                return
             if payload is not None:
                 rec.result = payload
                 rec.transition(JobState.COMPLETED)
@@ -353,6 +378,11 @@ class FCIService:
             rec = self.get(key)
             if rec.state == JobState.RUNNING:
                 raise RuntimeError(f"job {key[:12]} is running; cancel it first")
+            if rec.state == JobState.QUEUED:
+                # double resume is idempotent: the job is already on its way
+                if priority is not None:
+                    rec.priority, rec.tier = str(priority), self._tier(priority)
+                return rec
             if priority is not None:
                 rec.priority, rec.tier = str(priority), self._tier(priority)
             if timeout is not _KEEP_TIMEOUT:
@@ -361,6 +391,46 @@ class FCIService:
             self.queue.push(key, rec.tier)
             self._journal(rec)
             return rec
+
+    def reap(self) -> dict:
+        """Recover jobs abandoned by dead worker threads, then heal the fleet.
+
+        A worker thread that dies abruptly (injected
+        :class:`~repro.faults.WorkerCrashed`, or anything fatal a real
+        deployment does to a thread) leaves its job RUNNING forever and a
+        fleet slot empty.  This sweep (1) transitions every RUNNING job
+        whose worker thread is no longer alive to PREEMPTED - its last
+        on-grid checkpoint is intact, so :meth:`resume` continues it - and
+        (2) respawns the dead fleet slots.  Order matters: jobs are reaped
+        *before* slots are refilled, so a respawned thread can never mask
+        an abandoned job.
+
+        Returns ``{"reaped": [keys], "respawned": n}``.
+        """
+        reaped: list[str] = []
+        with self._lock:
+            for rec in self._records.values():
+                if (
+                    rec.state == JobState.RUNNING
+                    and rec.worker is not None
+                    and not self.scheduler.worker_alive(rec.worker)
+                ):
+                    rec.transition(JobState.PREEMPTED)
+                    rec.error = "worker died; job reaped (checkpoint intact)"
+                    rec.worker = None
+                    self._journal(rec)
+                    reaped.append(rec.key)
+            self.recovery["reaped"] += len(reaped)
+        respawned = self.scheduler.ensure_workers()
+        if reaped:
+            logger.warning(
+                "reaped %d abandoned job(s), respawned %d worker(s)",
+                len(reaped),
+                respawned,
+            )
+            if self.service_faults is not None:
+                self.service_faults.note_recovered("reaped_job", len(reaped))
+        return {"reaped": reaped, "respawned": respawned}
 
     def jobs(self) -> list[dict]:
         with self._lock:
@@ -378,10 +448,20 @@ class FCIService:
                 "queue_depth": len(self.queue),
                 "workers": self.scheduler.n_workers,
                 "workers_running": self.scheduler.running,
+                "worker_crashes": self.scheduler.crashes,
+                "worker_respawns": self.scheduler.respawns,
                 "solves_executed": self.executor.solves,
+                "telemetry_io_errors": self.executor.telemetry_io_errors,
+                "late_finishes": self.late_finishes,
+                "recovery": dict(self.recovery),
                 "cache": self.cache.stats(),
                 "backends_available": list(backend_names()),
                 "default_parallel": self.executor.default_parallel,
+                "service_faults": (
+                    self.service_faults.counts()
+                    if self.service_faults is not None
+                    else None
+                ),
             }
 
     # -- durability ----------------------------------------------------------
@@ -390,9 +470,14 @@ class FCIService:
 
     def _journal(self, rec: JobRecord) -> None:
         path = self._journal_path(rec.key)
+        blob = json.dumps(rec.to_journal()).encode()
+        if self.service_faults is not None and self.service_faults.torn_journal_write(
+            path, blob
+        ):
+            return  # the injector left a half-written journal in place
         tmp = path + ".tmp"
-        with open(tmp, "w") as f:
-            json.dump(rec.to_journal(), f)
+        with open(tmp, "wb") as f:
+            f.write(blob)
         os.replace(tmp, path)
 
     def _recover(self) -> None:
@@ -401,7 +486,9 @@ class FCIService:
         Jobs that were queued or running when the previous process died are
         marked PREEMPTED - their checkpoints (if any) are intact, so
         :meth:`resume` continues them; terminal jobs come back as-is, with
-        completed results re-served from the artifact cache.
+        completed results re-served from the artifact cache.  A journal a
+        crash left torn (partial JSON) is skipped and counted under
+        ``recovery["skipped_journals"]`` - never a startup crash.
         """
         for name in sorted(os.listdir(self.jobs_dir)):
             if not name.endswith(".json"):
@@ -412,6 +499,7 @@ class FCIService:
                     rec = JobRecord.from_journal(json.load(f))
             except Exception as exc:
                 logger.warning("skipping unreadable job journal %s: %s", path, exc)
+                self.recovery["skipped_journals"] += 1
                 continue
             if rec.state in JobState.ACTIVE:
                 rec.state = JobState.PREEMPTED
@@ -419,5 +507,6 @@ class FCIService:
                 rec.finished_at = rec.finished_at or time.time()
                 rec.done.set()
                 self._journal(rec)
+                self.recovery["readopted"] += 1
                 logger.info("re-adopted interrupted job %s as preempted", rec.key[:12])
             self._records[rec.key] = rec

@@ -137,6 +137,28 @@ class TestHTTPEndpoints:
         code, _ = _call("POST", f"{server.url}/v1/jobs", {})
         assert code == 400
 
+    def test_illegal_transition_maps_to_409_not_500(self, server, monkeypatch):
+        """A JobStateError escaping a handler is a client-state conflict, not
+        an internal error - it must surface as 409, never a 500."""
+        from repro.service import JobStateError
+
+        code, out = _call("POST", f"{server.url}/v1/jobs", {"spec": H2_SPEC})
+        key = out["key"]
+        _call("GET", f"{server.url}/v1/jobs/{key}/result?wait=120")
+
+        def boom(*_a, **_k):
+            raise JobStateError("completed -> running is not a legal transition")
+
+        monkeypatch.setattr(server.service, "resume", boom)
+        code, out = _call("POST", f"{server.url}/v1/jobs/{key}/resume")
+        assert code == 409
+        assert "JobStateError" in out["error"]
+
+    def test_reap_endpoint(self, server):
+        code, out = _call("POST", f"{server.url}/v1/reap")
+        assert code == 200
+        assert out == {"reaped": [], "respawned": 0}
+
     def test_backpressure_maps_to_429(self, tmp_path):
         svc = FCIService(tmp_path / "svc3", max_workers=1, queue_size=1, autostart=False)
         try:

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Out-of-core smoke test: solve through MmapStore under a starved budget.
+
+What CI's ``oom-smoke`` job runs: a small FCI space (H2O/STO-3G, 441
+determinants — tiny on purpose, the *path* is what is under test) solved
+three ways and required to agree:
+
+1. the dense reference (``vector_store=None``, the pre-storage-layer code
+   path);
+2. out-of-core Davidson: every held vector in a memory-mapped file, with
+   the kernel block budget starved to ``block_columns=1`` so the sigma
+   sweeps genuinely stream one column block at a time — the shape of a
+   vector that does not fit in RAM;
+3. out-of-core resume: the same solve killed at iteration 2 via the
+   checkpoint layer, then restarted from the mmap sidecar.
+
+Energy parity to 1e-10 is required everywhere, the mmap store must report
+zero resident payload bytes, and RSS growth over the out-of-core solve is
+printed for the job log.  Exits non-zero on any failure.
+
+Usage::
+
+    PYTHONPATH=src python scripts/oom_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import sys
+import tempfile
+
+TOL = 1e-10
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def main() -> None:
+    from repro.core import FCISolver
+    from repro.molecule import Molecule
+    from repro.obs import Telemetry
+
+    water = Molecule.from_atoms(
+        [
+            ("O", (0.0, 0.0, 0.2217)),
+            ("H", (0.0, 1.4309, -0.8867)),
+            ("H", (0.0, -1.4309, -0.8867)),
+        ],
+        name="H2O",
+    )
+
+    dense = FCISolver(water, "sto-3g", method="davidson").run()
+    if not dense.solve.converged:
+        fail("dense reference did not converge")
+    print(f"dense reference:   E = {dense.energy:.12f}")
+
+    with tempfile.TemporaryDirectory(prefix="oom-smoke-") as scratch:
+        tele = Telemetry()
+        rss_before = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        oom = FCISolver(
+            water,
+            "sto-3g",
+            method="davidson",
+            vector_store={"kind": "mmap", "directory": scratch},
+            block_columns=1,  # starve the kernel: stream one column at a time
+            telemetry=tele,
+        ).run()
+        rss_after = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if not oom.solve.converged:
+            fail("out-of-core solve did not converge")
+        err = abs(oom.energy - dense.energy)
+        print(f"mmap, 1-col blocks: E = {oom.energy:.12f}  |dE| = {err:.2e}")
+        if err >= TOL:
+            fail(f"out-of-core energy differs from dense by {err:.2e} >= {TOL}")
+        resident = tele.registry.get("vectors.resident_bytes").value
+        total = tele.registry.get("vectors.total_bytes").value
+        print(f"store bytes: resident={resident:.0f} total={total:.0f}")
+        if resident != 0.0:
+            fail(f"mmap store pinned {resident} resident bytes (expected 0)")
+        if total <= 0.0:
+            fail("mmap store reported no payload bytes")
+        print(f"peak RSS: {rss_before} -> {rss_after} KiB over the oom solve")
+
+        # interrupted + resumed out-of-core solve hits the same energy
+        ckpt = os.path.join(scratch, "oom.npz")
+        kwargs = dict(
+            method="davidson",
+            vector_store={"kind": "mmap", "directory": scratch},
+            checkpoint=ckpt,
+        )
+        try:
+            FCISolver(water, "sto-3g", max_iterations=2, **kwargs).run()
+        except Exception as exc:  # unconverged small budget is fine; crash is not
+            fail(f"interrupted out-of-core solve crashed: {exc}")
+        if not os.path.exists(ckpt + ".vec.npy"):
+            fail("mmap checkpoint wrote no vector sidecar")
+        resumed = FCISolver(water, "sto-3g", **kwargs).run()
+        err = abs(resumed.energy - dense.energy)
+        print(f"mmap resume:        E = {resumed.energy:.12f}  |dE| = {err:.2e}")
+        if not resumed.solve.converged or err >= TOL:
+            fail(f"resumed out-of-core solve off by {err:.2e}")
+
+    print("OK: out-of-core smoke passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -284,12 +284,26 @@ class _Killed(Exception):
 
 
 class SolverHarness:
-    """Kills and resumes checkpointed solves; asserts exact replay."""
+    """Kills and resumes checkpointed solves; asserts exact replay.
+
+    Beyond the dense in-RAM methods, the lane covers the storage layer:
+    ``davidson-mmap`` runs Davidson with its held subspace in an
+    out-of-core :class:`~repro.core.vectors.MmapStore` (killed the same
+    way, via sigma-call counting), and ``cdfci`` runs the sparse-store
+    coordinate-descent solver - it evaluates no sigma at all, so the kill
+    fires from its per-sweep ``on_iteration`` hook instead.
+    """
 
     _METHODS = {
         "olsen": dict(step=0.7, max_iterations=250),
         "auto": {},
         "davidson": {},
+        "davidson-mmap": {},
+        # the synthetic problem's ~190 Ha spectral scale leaves cdfci's
+        # incrementally-maintained b = Hc a float plateau around |r| ~ 3e-5;
+        # the lane's invariant is resumed-vs-uninterrupted, so the looser
+        # residual gate costs nothing
+        "cdfci": dict(max_iterations=300, residual_tol=1e-4),
     }
 
     def __init__(self):
@@ -304,6 +318,7 @@ class SolverHarness:
             "olsen": olsen_solve,
             "auto": auto_adjusted_solve,
             "davidson": davidson_solve,
+            "davidson-mmap": davidson_solve,
         }
         self.problem = _random_problem()
         self.precond = ModelSpacePreconditioner(self.problem, 50)
@@ -315,17 +330,39 @@ class SolverHarness:
 
         return sigma_dgemm(self.problem, C)
 
+    def _run_cdfci(self, ckpt, kill_at):
+        from ..core.cdfci import cdfci_solve
+
+        hook = None
+        if kill_at is not None:
+
+            def hook(iteration, _energy):
+                if iteration >= kill_at:
+                    raise _Killed
+
+        return cdfci_solve(
+            self.problem,
+            guess=self.guess,
+            checkpoint=ckpt,
+            on_iteration=hook,
+            **self._METHODS["cdfci"],
+        )
+
     def reference(self, method: str):
         if method not in self._refs:
-            res = self._solvers[method](
-                self._sigma, self.guess, self.precond, **self._METHODS[method]
-            )
+            if method == "cdfci":
+                res = self._run_cdfci(None, None)
+            else:
+                res = self._solvers[method](
+                    self._sigma, self.guess, self.precond, **self._METHODS[method]
+                )
             assert res.converged
             self._refs[method] = res
         return self._refs[method]
 
     def run(self, case: FuzzCase) -> tuple[str, str] | None:
         from ..core import Checkpointer
+        from ..core.vectors import MmapStore
 
         method = case.knobs.get("method", "auto")
         ref = self.reference(method)
@@ -338,32 +375,54 @@ class SolverHarness:
 
         with tempfile.TemporaryDirectory(prefix="chaos-solver-") as d:
             ckpt = Checkpointer(os.path.join(d, "solve.npz"), faults=fi)
-            solve = self._solvers[method]
             result = None
             attempts = 0
             while attempts < _SOLVER_MAX_ATTEMPTS:
                 attempts += 1
+                this_kill = kill_at if attempts == 1 else None
 
-                if attempts == 1 and kill_at is not None:
+                if method == "cdfci":
+                    try:
+                        result = self._run_cdfci(ckpt, this_kill)
+                        break
+                    except (_Killed, OSError):
+                        continue
+                    except Exception as exc:
+                        return ("no_crash", f"{type(exc).__name__}: {exc}")
+
+                if this_kill is not None:
                     calls = [0]
 
-                    def sig(C, _calls=calls):
+                    def sig(C, _calls=calls, _kill=this_kill):
                         _calls[0] += 1
-                        if _calls[0] > kill_at:
+                        if _calls[0] > _kill:
                             raise _Killed
                         return self._sigma(C)
 
                 else:
                     sig = self._sigma
+                store = (
+                    MmapStore(self.problem.shape, directory=d)
+                    if method == "davidson-mmap"
+                    else None
+                )
                 try:
-                    result = solve(
-                        sig, self.guess, self.precond, checkpoint=ckpt, **self._METHODS[method]
+                    result = self._solvers[method](
+                        sig,
+                        self.guess,
+                        self.precond,
+                        checkpoint=ckpt,
+                        store=store,
+                        **self._METHODS[method],
                     )
                     break
                 except (_Killed, OSError):
                     continue  # injected death or checkpoint I/O crash: retry
                 except Exception as exc:
                     return ("no_crash", f"{type(exc).__name__}: {exc}")
+                finally:
+                    if store is not None:
+                        store.close()
 
         if result is None:
             return (
@@ -375,11 +434,14 @@ class SolverHarness:
         err = abs(result.energy - ref.energy)
         if not err < _TOL:
             return ("solver_resume_energy", f"|E - E_ref| = {err:.3e} for {method}")
-        if method in ("olsen", "auto") and list(result.energies) != list(ref.energies):
-            # the single-vector methods replay their exact iteration sequence
-            # from any checkpoint; davidson restarts from a collapsed subspace
-            # (a few extra iterations are its contract), so only the energy
-            # invariant above applies to it
+        if method in ("olsen", "auto", "cdfci") and list(result.energies) != list(
+            ref.energies
+        ):
+            # the single-vector methods (and cdfci, whose checkpoint carries
+            # the exact coordinate state) replay their exact iteration
+            # sequence from any checkpoint; davidson restarts from a
+            # collapsed subspace (a few extra iterations are its contract),
+            # so only the energy invariant above applies to it
             return (
                 "solver_replay",
                 f"{method} resumed energy sequence differs from uninterrupted run",
@@ -551,7 +613,7 @@ def generate_case(seed: int, budget: FuzzBudget, env: ChaosEnv) -> FuzzCase:
         plan = budget.clamp(build_fault_plan(names, env, seed))
         return FuzzCase(seed=seed, harness="sigma", scenarios=names, plan=plan)
     if r < budget.w_sigma + budget.w_solver:
-        method = rng.choice(("olsen", "auto", "davidson"))
+        method = rng.choice(("olsen", "auto", "davidson", "davidson-mmap", "cdfci"))
         kill_frac = round(rng.uniform(0.2, 0.9), 3) if rng.random() < 0.7 else None
         # every save failure kills the attempt, so survival over an
         # ~25-iteration solve goes like (1-p)^25: keep p where finishing

@@ -36,13 +36,32 @@ from .guards import (
 from .olsen import SolveResult, olsen_correction, olsen_solve
 from .davidson import davidson_solve
 from .auto_single import auto_adjusted_solve
+from .vectors import (
+    CIVectorStore,
+    DenseStore,
+    MmapStore,
+    SparseStore,
+    as_dense_array,
+    make_store,
+    publish_store_metrics,
+    register_store,
+    store_kinds,
+)
+from .cdfci import HamiltonianColumns, cdfci_solve
 from .spin import SpinOperator, apply_s2, s_plus, s_squared
 from .rdm import natural_orbitals, one_rdm
 from .multiroot import MultiRootResult, davidson_multiroot
 from .calibrate import CalibrationResult, TruncatedCI, cisd, mp2_energy
 from .properties import dipole_moment
 from .memory import MethodFootprint, davidson_io_penalty, method_footprints
-from .solver import FCIResult, FCISolver, MultiRootFCIResult, fci
+from .solver import (
+    FCIResult,
+    FCISolver,
+    MultiRootFCIResult,
+    fci,
+    method_names,
+    register_method,
+)
 
 __all__ = [
     "StringSpace",
@@ -84,6 +103,17 @@ __all__ = [
     "olsen_solve",
     "davidson_solve",
     "auto_adjusted_solve",
+    "CIVectorStore",
+    "DenseStore",
+    "MmapStore",
+    "SparseStore",
+    "as_dense_array",
+    "make_store",
+    "publish_store_metrics",
+    "register_store",
+    "store_kinds",
+    "HamiltonianColumns",
+    "cdfci_solve",
     "SpinOperator",
     "apply_s2",
     "s_plus",
@@ -104,4 +134,6 @@ __all__ = [
     "FCIResult",
     "FCISolver",
     "fci",
+    "method_names",
+    "register_method",
 ]

@@ -81,6 +81,7 @@ def auto_adjusted_solve(
     telemetry=None,
     checkpoint: Checkpointer | None = None,
     divergence_threshold: float | None = DEFAULT_DIVERGENCE_THRESHOLD,
+    store=None,
 ) -> SolveResult:
     """Automatically adjusted single-vector iteration (paper section 2.2).
 
@@ -96,7 +97,29 @@ def auto_adjusted_solve(
     the exact iteration sequence of an uninterrupted one.  Ill-conditioned
     2x2 subspace solves fall back to a plain Olsen step (lambda = 1),
     counted under ``faults.recovered.lambda_fallback``.
+
+    ``store`` (a :class:`repro.core.vectors.CIVectorStore` template) keeps
+    the current iterate in store-backed memory between iterations; values
+    are copied in bit-for-bit, so a ``DenseStore`` run is bitwise-identical
+    to ``store=None``.  Checkpoints written under a store carry its kind.
     """
+    ck_kind = store.kind if store is not None else "dense"
+    C_buf = store.allocate() if store is not None else None
+
+    def _hold(x: np.ndarray) -> np.ndarray:
+        if C_buf is None:
+            return x
+        C_buf.write(x)
+        return C_buf.as_ndarray()
+
+    def _emit(x: np.ndarray) -> np.ndarray:
+        """Materialize the result and release the store buffer."""
+        if C_buf is None:
+            return x
+        out = np.array(x)
+        C_buf.close()
+        return out
+
     C = guess / np.linalg.norm(guess)
     energies: list[float] = []
     rnorms: list[float] = []
@@ -107,9 +130,9 @@ def auto_adjusted_solve(
     e = 0.0
     start_it = 0
     if checkpoint is not None:
-        state = checkpoint.restore("auto")
+        state = checkpoint.restore("auto", store_kind=ck_kind)
         if state is not None:
-            C = state.vector.reshape(guess.shape)
+            C = np.asarray(state.vector).reshape(guess.shape)
             prev = state.meta.get("prev")
             lam = state.meta.get("lambda", 1.0)
             energies = list(state.energies)
@@ -121,6 +144,7 @@ def auto_adjusted_solve(
                 # is already exhausted reports the checkpointed energy
                 # instead of a fresh 0.0
                 e = float(energies[-1])
+    C = _hold(C)
 
     def on_fallback(reason: str) -> None:
         if telemetry:
@@ -157,12 +181,13 @@ def auto_adjusted_solve(
                         meta={"prev": prev, "lambda": lam},
                         energies=energies,
                         residual_norms=rnorms,
+                        store_kind=ck_kind,
                     ),
                     force=True,
                 )
             return SolveResult(
                 energy=e,
-                vector=C,
+                vector=_emit(C),
                 converged=True,
                 n_iterations=it,
                 n_sigma=n_sigma,
@@ -202,7 +227,7 @@ def auto_adjusted_solve(
             "lambda": lam,
             "s2": 1.0 / nrm2,
         }
-        C = new / np.sqrt(nrm2)
+        C = _hold(new / np.sqrt(nrm2))
         if checkpoint is not None:
             last_state = CheckpointState(
                 method="auto",
@@ -212,6 +237,7 @@ def auto_adjusted_solve(
                 meta={"prev": prev, "lambda": lam},
                 energies=energies,
                 residual_norms=rnorms,
+                store_kind=ck_kind,
             )
             last_saved = checkpoint.maybe_save(last_state)
 
@@ -220,7 +246,7 @@ def auto_adjusted_solve(
         checkpoint.maybe_save(last_state, force=True)
     return SolveResult(
         energy=e,
-        vector=C,
+        vector=_emit(C),
         converged=False,
         n_iterations=max_iterations,
         n_sigma=n_sigma,

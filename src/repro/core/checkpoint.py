@@ -20,6 +20,16 @@ Restarting olsen/auto from a checkpoint replays the *exact* iteration
 sequence (floats round-trip losslessly through both the npz payload and the
 JSON header), so an interrupted-plus-resumed solve takes no more total
 iterations than an uninterrupted one.
+
+Checkpoints are *store-typed* (see :mod:`repro.core.vectors`): the header
+records which CI-vector storage backend wrote the state.  A dense restart
+handed an out-of-core checkpoint refuses it as a typed mismatch (counted
+under ``solver.checkpoint.store_mismatch``) instead of silently pulling a
+bigger-than-RAM vector into memory; an mmap-backed restart resumes from a
+``<path>.vec.npy`` sidecar that is CRC-verified in streamed chunks and then
+memory-mapped read-only, so resume never materializes the full vector.
+Solvers with extra restart payloads (CDFCI's coordinate arrays) ride along
+in ``CheckpointState.arrays``, each CRC-verified like the vector.
 """
 
 from __future__ import annotations
@@ -47,13 +57,26 @@ class CheckpointError(RuntimeError):
 class CheckpointState:
     """Everything needed to resume an iterative eigensolve."""
 
-    method: str  # "olsen" | "auto" | "davidson"
+    method: str  # "olsen" | "auto" | "davidson" | "cdfci"
     iteration: int  # completed iterations
     n_sigma: int  # sigma evaluations so far
     vector: np.ndarray  # current CI iterate (post-update, normalized)
     meta: dict = field(default_factory=dict)  # method-specific scalars
     energies: list = field(default_factory=list)
     residual_norms: list = field(default_factory=list)
+    store_kind: str = "dense"  # CI-vector storage backend that wrote this
+    arrays: dict = field(default_factory=dict)  # extra named restart arrays
+
+
+def _stream_crc32(path: str, chunk: int = 1 << 22) -> int:
+    """CRC32 of a file computed in chunks - never the whole file in RAM."""
+    crc = 0
+    with open(path, "rb") as f:
+        while True:
+            block = f.read(chunk)
+            if not block:
+                return crc
+            crc = zlib.crc32(block, crc)
 
 
 class Checkpointer:
@@ -86,10 +109,17 @@ class Checkpointer:
     def exists(self) -> bool:
         return os.path.exists(self.path)
 
+    @property
+    def sidecar_path(self) -> str:
+        """Where an out-of-core checkpoint keeps its vector payload."""
+        return self.path + ".vec.npy"
+
     def clear(self) -> None:
         """Remove the checkpoint file (e.g. after a converged campaign)."""
         if os.path.exists(self.path):
             os.remove(self.path)
+        if os.path.exists(self.sidecar_path):
+            os.remove(self.sidecar_path)
 
     def maybe_save(self, state: CheckpointState, *, force: bool = False) -> bool:
         """Save if the iteration falls on the ``every`` grid.
@@ -103,6 +133,29 @@ class Checkpointer:
         self.save(state)
         return True
 
+    def _write_sidecar(self, vec: np.ndarray) -> int:
+        """Atomically write the vector to ``<path>.vec.npy``; returns its CRC.
+
+        The payload is streamed back for the CRC in fixed chunks, so the
+        save path never needs a second full-vector buffer (``vec`` itself
+        may be an ``np.memmap`` whose pages the OS already holds).
+        """
+        tmp = self.sidecar_path + ".tmp"
+        mm = np.lib.format.open_memmap(
+            tmp, mode="w+", dtype=np.float64, shape=vec.shape
+        )
+        mm[...] = vec
+        mm.flush()
+        del mm
+        crc = _stream_crc32(tmp)
+        fd = os.open(tmp, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, self.sidecar_path)
+        return crc
+
     def save(self, state: CheckpointState) -> None:
         """Atomically persist ``state`` (write-tmp, fsync, rename)."""
         if self.faults is not None and self.faults.io_fails(0):
@@ -111,6 +164,10 @@ class Checkpointer:
                 f"injected transient I/O error writing checkpoint {self.path!r}"
             )
         vec = np.ascontiguousarray(state.vector)
+        out_of_core = state.store_kind == "mmap"
+        extras = {
+            name: np.ascontiguousarray(arr) for name, arr in state.arrays.items()
+        }
         header = {
             "version": _FORMAT_VERSION,
             "method": state.method,
@@ -121,12 +178,27 @@ class Checkpointer:
             "residual_norms": [float(r) for r in state.residual_norms],
             "shape": list(vec.shape),
             "dtype": str(vec.dtype),
-            "crc32": zlib.crc32(vec.tobytes()),
+            "store": state.store_kind,
+            "arrays": {name: zlib.crc32(a.tobytes()) for name, a in extras.items()},
         }
+        if out_of_core:
+            # vector payload goes to the sidecar so a resume can map it
+            # instead of loading it; the npz keeps header + small arrays
+            header["crc32"] = self._write_sidecar(vec)
+            header["vector_file"] = os.path.basename(self.sidecar_path)
+            payload = np.zeros(0)
+        else:
+            header["crc32"] = zlib.crc32(vec.tobytes())
+            payload = vec
         blob = json.dumps(header).encode()
         tmp = self.path + ".tmp"
         with open(tmp, "wb") as f:
-            np.savez(f, vector=vec, header=np.frombuffer(blob, dtype=np.uint8))
+            np.savez(
+                f,
+                vector=payload,
+                header=np.frombuffer(blob, dtype=np.uint8),
+                **{f"arr_{name}": a for name, a in extras.items()},
+            )
             f.flush()
             os.fsync(f.fileno())
         os.replace(tmp, self.path)
@@ -143,30 +215,60 @@ class Checkpointer:
             return None
         try:
             with np.load(self.path) as z:
-                return json.loads(bytes(z["header"].tobytes()).decode())
+                header = json.loads(bytes(z["header"].tobytes()).decode())
         except Exception as exc:
             # a file that exists but cannot even surrender its header is
             # corrupt (truncated npz, torn write): a miss, never a crash
             logger.warning("unreadable checkpoint header %r: %s", self.path, exc)
             self._count("solver.checkpoint.peek_failed")
             return None
+        # pre-store checkpoints carry no "store" key: they are dense
+        header.setdefault("store", "dense")
+        return header
 
     def load(self) -> CheckpointState | None:
-        """Load and verify; None if absent, :class:`CheckpointError` if bad."""
+        """Load and verify; None if absent, :class:`CheckpointError` if bad.
+
+        An out-of-core ("mmap") checkpoint keeps its vector in the
+        ``<path>.vec.npy`` sidecar: the CRC is verified by streaming the
+        file in chunks and the vector is returned as a *read-only memory
+        map* - resume never loads the full payload into RAM.
+        """
         if not os.path.exists(self.path):
             return None
         try:
             with np.load(self.path) as z:
                 vec = np.array(z["vector"])
                 header = json.loads(bytes(z["header"].tobytes()).decode())
+                extras = {
+                    name: np.array(z[f"arr_{name}"])
+                    for name in header.get("arrays", {})
+                }
         except Exception as exc:  # torn write, not an npz, bad JSON, ...
             raise CheckpointError(f"unreadable checkpoint {self.path!r}: {exc}") from exc
         if header.get("version") != _FORMAT_VERSION:
             raise CheckpointError(
                 f"checkpoint {self.path!r} has unsupported version {header.get('version')!r}"
             )
-        if zlib.crc32(vec.tobytes()) != header["crc32"]:
+        store_kind = header.get("store", "dense")
+        if store_kind == "mmap" and header.get("vector_file"):
+            sidecar = self.sidecar_path
+            if not os.path.exists(sidecar):
+                raise CheckpointError(
+                    f"checkpoint {self.path!r} lost its vector sidecar {sidecar!r}"
+                )
+            if _stream_crc32(sidecar) != header["crc32"]:
+                raise CheckpointError(
+                    f"checkpoint sidecar {sidecar!r} failed CRC32 verification"
+                )
+            vec = np.lib.format.open_memmap(sidecar, mode="r")
+        elif zlib.crc32(vec.tobytes()) != header["crc32"]:
             raise CheckpointError(f"checkpoint {self.path!r} failed CRC32 verification")
+        for name, crc in header.get("arrays", {}).items():
+            if zlib.crc32(extras[name].tobytes()) != crc:
+                raise CheckpointError(
+                    f"checkpoint {self.path!r} array {name!r} failed CRC32 verification"
+                )
         return CheckpointState(
             method=header["method"],
             iteration=header["iteration"],
@@ -175,16 +277,37 @@ class Checkpointer:
             meta=header["meta"],
             energies=header["energies"],
             residual_norms=header["residual_norms"],
+            store_kind=store_kind,
+            arrays=extras,
         )
 
-    def restore(self, method: str | None = None) -> CheckpointState | None:
+    def restore(
+        self, method: str | None = None, *, store_kind: str | None = None
+    ) -> CheckpointState | None:
         """Best-effort load for a restart.
 
         A corrupt checkpoint is logged, counted, and treated as absent (a
         fresh start beats iterating from garbage); a checkpoint written by a
         *different* method contributes its vector as the initial guess but
         none of its scalar state.
+
+        ``store_kind`` declares the restarting solver's CI-vector storage
+        backend.  A checkpoint written by a *different* backend is refused
+        before its payload is touched - counted under
+        ``solver.checkpoint.store_mismatch`` and treated as absent - so a
+        dense restart never silently loads an out-of-core vector into RAM.
         """
+        if store_kind is not None:
+            header = self.peek()
+            if header is not None and header["store"] != store_kind:
+                logger.warning(
+                    "checkpoint %r was written by store %r; %r restart starts fresh",
+                    self.path,
+                    header["store"],
+                    store_kind,
+                )
+                self._count("solver.checkpoint.store_mismatch")
+                return None
         try:
             state = self.load()
         except CheckpointError as exc:
@@ -204,7 +327,8 @@ class Checkpointer:
                 method=method,
                 iteration=0,
                 n_sigma=0,
-                vector=state.vector,
+                vector=np.array(state.vector),
+                store_kind=state.store_kind,
             )
         self._count("solver.checkpoint.restores")
         if self.telemetry:

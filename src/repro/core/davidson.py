@@ -35,6 +35,7 @@ def davidson_solve(
     telemetry=None,
     checkpoint: Checkpointer | None = None,
     divergence_threshold: float | None = DEFAULT_DIVERGENCE_THRESHOLD,
+    store=None,
 ) -> SolveResult:
     """Davidson iteration for the lowest eigenpair.
 
@@ -54,8 +55,34 @@ def davidson_solve(
     same state a ``max_subspace`` collapse would keep), so resumption costs
     at most the usual post-collapse re-expansion.  Iterates are watched by
     :class:`repro.core.guards.IterateGuard`.
+
+    ``store`` (a :class:`repro.core.vectors.CIVectorStore` template) holds
+    the subspace basis and sigma vectors - Davidson's O(2m vectors) memory
+    hog, the cost the paper's single-vector method exists to avoid.  With an
+    ``MmapStore`` template the subspace lives on disk and only the O(1)
+    working pair plus kernel block intermediates stay resident; values are
+    copied in by full-content assignment, so a ``DenseStore`` run is
+    bitwise-identical to ``store=None``.  Checkpoints written under a store
+    are typed with its kind (a mismatched restart starts fresh instead of
+    loading the wrong representation).
     """
     shape = guess.shape
+    ck_kind = store.kind if store is not None else "dense"
+    held: list = []  # store-backed buffers keeping subspace payloads alive
+
+    def _hold(x: np.ndarray) -> np.ndarray:
+        """Move a raveled vector into store-backed memory (no-op storeless)."""
+        if store is None:
+            return x
+        buf = store.allocate()
+        buf.write(x)
+        held.append(buf)
+        return buf.as_ndarray().ravel()
+
+    def _release() -> list:
+        drop, held[:] = held[:], []
+        return drop
+
     v = (guess / np.linalg.norm(guess)).ravel()
     energies: list[float] = []
     rnorms: list[float] = []
@@ -64,9 +91,9 @@ def davidson_solve(
     e = 0.0
     start_it = 0
     if checkpoint is not None:
-        state = checkpoint.restore("davidson")
+        state = checkpoint.restore("davidson", store_kind=ck_kind)
         if state is not None:
-            v = state.vector.ravel()
+            v = np.asarray(state.vector).ravel()
             v = v / np.linalg.norm(v)
             prev_e = state.meta.get("prev_e", np.inf)
             energies = list(state.energies)
@@ -77,7 +104,7 @@ def davidson_solve(
                 # seed the result energy so a resume whose iteration budget
                 # is already exhausted reports the checkpointed energy
                 e = float(energies[-1])
-    basis: list[np.ndarray] = [v]
+    basis: list[np.ndarray] = [_hold(v)]
     sigmas: list[np.ndarray] = []
     ritz = v
     guard = IterateGuard(divergence_threshold, telemetry=telemetry)
@@ -85,7 +112,7 @@ def davidson_solve(
     last_saved = True
     for it in range(start_it + 1, max_iterations + 1):
         # evaluate sigma of the newest basis vector
-        sigmas.append(sigma_fn(basis[-1].reshape(shape)).ravel())
+        sigmas.append(_hold(sigma_fn(basis[-1].reshape(shape)).ravel()))
         n_sigma += 1
         k = len(basis)
         Hs = np.empty((k, k))
@@ -116,11 +143,14 @@ def davidson_solve(
                 meta={"prev_e": e},
                 energies=energies,
                 residual_norms=rnorms,
+                store_kind=ck_kind,
             )
             # converged states may fall off the ``every`` grid; force the
             # save so the final answer is always durable
             last_saved = checkpoint.maybe_save(last_state, force=converged)
         if converged:
+            for buf in _release():
+                buf.close()
             return SolveResult(
                 energy=e,
                 vector=ritz.reshape(shape),
@@ -138,9 +168,14 @@ def davidson_solve(
         ).ravel()
 
         if k >= max_subspace:
-            # collapse to the current Ritz vector
-            basis = [ritz / np.linalg.norm(ritz)]
-            sigmas = [hritz / np.linalg.norm(ritz)]
+            # collapse to the current Ritz vector; store-backed subspace
+            # buffers of the abandoned basis are reclaimed (on-disk blocks
+            # for MmapStore, a no-op for DenseStore)
+            old = _release()
+            basis = [_hold(ritz / np.linalg.norm(ritz))]
+            sigmas = [_hold(hritz / np.linalg.norm(ritz))]
+            for buf in old:
+                buf.close()
         # orthogonalize the correction against the basis (twice, for
         # numerical safety)
         for _ in range(2):
@@ -151,6 +186,8 @@ def davidson_solve(
             # subspace is numerically exhausted: converged as far as possible
             if checkpoint is not None and last_state is not None and not last_saved:
                 checkpoint.maybe_save(last_state, force=True)
+            for buf in _release():
+                buf.close()
             return SolveResult(
                 energy=e,
                 vector=ritz.reshape(shape),
@@ -161,10 +198,12 @@ def davidson_solve(
                 residual_norms=rnorms,
                 method="davidson",
             )
-        basis.append(t / tnorm)
+        basis.append(_hold(t / tnorm))
     if checkpoint is not None and last_state is not None and not last_saved:
         # the budget ran out on an off-grid iteration: keep the final state
         checkpoint.maybe_save(last_state, force=True)
+    for buf in _release():
+        buf.close()
     return SolveResult(
         energy=e,
         vector=ritz.reshape(shape),

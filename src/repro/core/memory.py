@@ -35,9 +35,25 @@ class MethodFootprint:
     n_vectors: float  # CI-vector-equivalents held at once
     total_bytes: float
     bytes_per_msp: float
+    resident_bytes: float = -1.0  # RAM actually pinned (storage-backend aware)
+
+    def __post_init__(self) -> None:
+        if self.resident_bytes < 0:
+            # dense storage: everything the method holds is resident
+            self.resident_bytes = self.total_bytes
+
+    @property
+    def resident_bytes_per_msp(self) -> float:
+        """RAM pinned per MSP: the storage-backend-aware budgeting figure."""
+        return self.resident_bytes * self.bytes_per_msp / max(self.total_bytes, 1e-300)
 
     def fits(self, memory_per_msp: float) -> bool:
-        return self.bytes_per_msp <= memory_per_msp
+        """Whether the *resident* per-MSP footprint fits the given RAM.
+
+        Pre-storage-layer this compared the full logical footprint; with an
+        out-of-core backend only the pinned fraction competes for RAM.
+        """
+        return self.resident_bytes_per_msp <= memory_per_msp
 
 
 def method_footprints(
@@ -46,12 +62,22 @@ def method_footprints(
     *,
     davidson_subspace: int = 12,
     working_copies: float = 1.0,
+    store_kind: str = "dense",
 ) -> list[MethodFootprint]:
     """Storage of Davidson vs Olsen-type vs auto single-vector methods.
 
     Davidson holds the basis AND its sigma images (2 x subspace); every
     single-vector scheme holds C, sigma and one correction scratch.
     ``working_copies`` adds the gather/update work area every method needs.
+
+    ``store_kind`` selects the CI-vector storage backend the budget should
+    assume (see :mod:`repro.core.vectors`).  The *logical* footprint is the
+    same for every backend; what changes is ``resident_bytes``, the RAM a
+    method actually pins: dense pins everything, while "mmap" keeps the
+    held vectors in reclaimable page cache and pins only the
+    ``working_copies`` scratch - the figure
+    :meth:`~repro.core.plans.SigmaPlan.default_block_columns` subtracts
+    from its budget.
     """
     if ci_dimension <= 0 or n_msps < 1:
         raise ValueError("need a positive CI dimension and MSP count")
@@ -63,12 +89,18 @@ def method_footprints(
     ]:
         n_vec = vectors + working_copies
         total = n_vec * ci_dimension * _BYTES
+        if store_kind == "mmap":
+            # held vectors live in page cache; only working scratch is pinned
+            resident = working_copies * ci_dimension * _BYTES
+        else:
+            resident = total
         rows.append(
             MethodFootprint(
                 method=method,
                 n_vectors=n_vec,
                 total_bytes=total,
                 bytes_per_msp=total / n_msps,
+                resident_bytes=resident,
             )
         )
     logger.debug(

@@ -64,11 +64,17 @@ def davidson_multiroot(
     residual_tol: float = 1e-5,
     max_iterations: int = 80,
     max_subspace: int | None = None,
+    store=None,
 ) -> MultiRootResult:
     """Block Davidson for the ``n_roots`` lowest eigenpairs.
 
     ``guesses`` seed the subspace (at least n_roots of them); preconditioned
     residuals of all unconverged roots are appended every iteration.
+
+    ``store`` (a :class:`repro.core.vectors.CIVectorStore` template) holds
+    the block subspace - the k-times-larger version of Davidson's memory
+    hog; values are copied in bit-for-bit so a ``DenseStore`` run matches
+    ``store=None`` exactly.
     """
     if not guesses:
         raise ValueError("need at least one guess vector")
@@ -77,8 +83,23 @@ def davidson_multiroot(
     if len(guesses) < k:
         raise ValueError("need at least n_roots guess vectors")
     max_subspace = max_subspace or max(8 * k, 24)
+    held: list = []  # store-backed buffers keeping subspace payloads alive
 
-    basis: list[np.ndarray] = _orthonormalize([g.ravel() for g in guesses], [])
+    def _hold(x: np.ndarray) -> np.ndarray:
+        if store is None:
+            return x
+        buf = store.allocate()
+        buf.write(x)
+        held.append(buf)
+        return buf.as_ndarray().ravel()
+
+    def _release() -> list:
+        drop, held[:] = held[:], []
+        return drop
+
+    basis: list[np.ndarray] = [
+        _hold(b) for b in _orthonormalize([g.ravel() for g in guesses], [])
+    ]
     if len(basis) < k:
         raise ValueError("guess vectors are linearly dependent")
     sigmas: list[np.ndarray] = []
@@ -97,10 +118,10 @@ def davidson_multiroot(
                 [b.reshape(shape) for b in basis[len(sigmas):]]
             )
             batch = apply_batch(pending)
-            sigmas.extend(batch.reshape(batch.shape[0], -1))
+            sigmas.extend(_hold(row) for row in batch.reshape(batch.shape[0], -1))
             n_sigma += batch.shape[0]
         while len(sigmas) < len(basis):
-            sigmas.append(sigma_fn(basis[len(sigmas)].reshape(shape)).ravel())
+            sigmas.append(_hold(sigma_fn(basis[len(sigmas)].reshape(shape)).ravel()))
             n_sigma += 1
         m = len(basis)
         Hs = np.empty((m, m))
@@ -120,6 +141,8 @@ def davidson_multiroot(
         residuals = [h_ritz[r] - theta[r] * ritz[r] for r in range(k)]
         rnorms = np.array([np.linalg.norm(r) for r in residuals])
         if np.all(np.abs(theta - prev) < energy_tol) and np.all(rnorms < residual_tol):
+            for buf in _release():
+                buf.close()
             return MultiRootResult(
                 energies=theta,
                 vectors=[v.reshape(shape) for v in ritz],
@@ -138,14 +161,20 @@ def davidson_multiroot(
             t = precond.solve(residuals[r].reshape(shape), float(theta[r])).ravel()
             new.append(t)
         if m + len(new) > max_subspace:
-            # collapse to the Ritz vectors, keeping the new directions
-            basis = _orthonormalize(ritz, [])
+            # collapse to the Ritz vectors, keeping the new directions;
+            # store-backed buffers of the abandoned subspace are reclaimed
+            old = _release()
+            basis = [_hold(b) for b in _orthonormalize(ritz, [])]
             sigmas = []
+            for buf in old:
+                buf.close()
         added = _orthonormalize(new, basis)
         if not added:
             break
-        basis.extend(added)
+        basis.extend(_hold(a) for a in added)
 
+    for buf in _release():
+        buf.close()
     return MultiRootResult(
         energies=theta,
         vectors=[v.reshape(shape) for v in ritz],

@@ -79,6 +79,7 @@ def olsen_solve(
     telemetry=None,
     checkpoint: Checkpointer | None = None,
     divergence_threshold: float | None = DEFAULT_DIVERGENCE_THRESHOLD,
+    store=None,
 ) -> SolveResult:
     """Single-vector Olsen iteration with fixed mixing step ``step``.
 
@@ -94,7 +95,29 @@ def olsen_solve(
     resumes from it when present - an interrupted-plus-resumed solve
     replays the exact iteration sequence of an uninterrupted one.  Iterates
     are watched by :class:`repro.core.guards.IterateGuard`.
+
+    ``store`` (a :class:`repro.core.vectors.CIVectorStore` template) keeps
+    the current iterate in store-backed memory between iterations; values
+    are copied in bit-for-bit, so a ``DenseStore`` run is bitwise-identical
+    to ``store=None``.  Checkpoints written under a store carry its kind.
     """
+    ck_kind = store.kind if store is not None else "dense"
+    C_buf = store.allocate() if store is not None else None
+
+    def _hold(x: np.ndarray) -> np.ndarray:
+        if C_buf is None:
+            return x
+        C_buf.write(x)
+        return C_buf.as_ndarray()
+
+    def _emit(x: np.ndarray) -> np.ndarray:
+        """Materialize the result and release the store buffer."""
+        if C_buf is None:
+            return x
+        out = np.array(x)
+        C_buf.close()
+        return out
+
     C = guess / np.linalg.norm(guess)
     energies: list[float] = []
     rnorms: list[float] = []
@@ -102,14 +125,15 @@ def olsen_solve(
     n_sigma = 0
     start_it = 0
     if checkpoint is not None:
-        state = checkpoint.restore("olsen")
+        state = checkpoint.restore("olsen", store_kind=ck_kind)
         if state is not None:
-            C = state.vector.reshape(guess.shape)
+            C = np.asarray(state.vector).reshape(guess.shape)
             prev_e = state.meta.get("prev_e", np.inf)
             energies = list(state.energies)
             rnorms = list(state.residual_norms)
             n_sigma = state.n_sigma
             start_it = state.iteration
+    C = _hold(C)
     guard = IterateGuard(divergence_threshold, telemetry=telemetry)
     last_state: CheckpointState | None = None
     last_saved = True
@@ -136,12 +160,13 @@ def olsen_solve(
                         meta={"prev_e": e, "step": step},
                         energies=energies,
                         residual_norms=rnorms,
+                        store_kind=ck_kind,
                     ),
                     force=True,
                 )
             return SolveResult(
                 energy=e,
-                vector=C,
+                vector=_emit(C),
                 converged=True,
                 n_iterations=it,
                 n_sigma=n_sigma,
@@ -153,6 +178,7 @@ def olsen_solve(
         t = olsen_correction(C, sigma, e, precond)
         C = C + step * t
         C /= np.linalg.norm(C)
+        C = _hold(C)
         if checkpoint is not None:
             last_state = CheckpointState(
                 method="olsen",
@@ -162,6 +188,7 @@ def olsen_solve(
                 meta={"prev_e": prev_e, "step": step},
                 energies=energies,
                 residual_norms=rnorms,
+                store_kind=ck_kind,
             )
             last_saved = checkpoint.maybe_save(last_state)
     if checkpoint is not None and last_state is not None and not last_saved:
@@ -171,7 +198,7 @@ def olsen_solve(
         # a resume whose iteration budget is already exhausted must report
         # the checkpointed energy, not crash on an empty history
         energy=energies[-1] if energies else 0.0,
-        vector=C,
+        vector=_emit(C),
         converged=False,
         n_iterations=max_iterations,
         n_sigma=n_sigma,

@@ -28,6 +28,7 @@ import numpy as np
 from .kernels import SigmaKernel, make_kernel
 from .plans import SigmaPlan
 from .spin import SpinOperator
+from .vectors import as_dense_array
 
 __all__ = ["HamiltonianOperator", "SigmaFn"]
 
@@ -125,9 +126,16 @@ class HamiltonianOperator:
             )
         return sigma
 
-    def apply(self, C: np.ndarray) -> np.ndarray:
-        """sigma for one (na, nb) CI vector."""
-        C = np.asarray(C)
+    def apply(self, C) -> np.ndarray:
+        """sigma for one (na, nb) CI vector.
+
+        ``C`` may be a plain ndarray or any
+        :class:`repro.core.vectors.CIVectorStore` - dense and mmap stores
+        pass their backing array through zero-copy (an ``np.memmap`` *is*
+        an ndarray, so the kernels stream its pages block by block), a
+        sparse store is densified first.
+        """
+        C = np.asarray(as_dense_array(C))
         fresh = self.kernel.make_counters()
         t0 = time.perf_counter() if self.telemetry else 0.0
         sigma = self._decorate(C, self.kernel.apply(C, fresh))

@@ -263,7 +263,11 @@ class SigmaPlan:
         return total
 
     def default_block_columns(
-        self, *, memory_budget_mb: int = DEFAULT_BLOCK_BUDGET_MB, batch: int = 1
+        self,
+        *,
+        memory_budget_mb: int = DEFAULT_BLOCK_BUDGET_MB,
+        batch: int = 1,
+        resident_bytes: int | None = None,
     ) -> int:
         """Column-block width sized so the D/E intermediates fit a budget.
 
@@ -276,6 +280,16 @@ class SigmaPlan:
         :class:`~repro.core.solver.FCISolver`, and
         :class:`~repro.parallel.pfci.ParallelSigma` when ``block_columns``
         is not given explicitly.
+
+        ``resident_bytes`` charges the CI vectors themselves against the
+        budget - the solver passes the *resident* footprint its
+        :class:`~repro.core.vectors.CIVectorStore` reports
+        (``resident_nbytes``), not the logical vector size, so an
+        out-of-core ``MmapStore`` campaign keeps the full scratch budget
+        while a dense run leaves room for the vectors it actually pins in
+        RAM.  Changing the block width never changes results: every kernel
+        is bitwise-identical across ``block_columns`` (each output column
+        of a wider DGEMM is the same dot product).
         """
         na, _ = self.shape
         nn = self.n * self.n
@@ -284,6 +298,10 @@ class SigmaPlan:
             if splan is not None:
                 per_col = max(per_col, 2 * 8 * splan.n_pairs * splan.n_reduced)
         budget = int(memory_budget_mb) * 2**20
+        if resident_bytes:
+            # never starve the kernel completely: keep at least 1 MiB of
+            # scratch so pathological residencies degrade to m = small, not 0
+            budget = max(budget - int(resident_bytes), 2**20)
         m = budget // per_col if per_col else _MAX_BLOCK_COLUMNS
         return int(min(max(m, 1), _MAX_BLOCK_COLUMNS))
 

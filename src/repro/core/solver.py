@@ -30,12 +30,85 @@ from .operator import HamiltonianOperator
 from .problem import CIProblem
 from .spin import SpinOperator
 from .strings import string_irrep
+from .vectors import make_store, publish_store_metrics, store_kinds
 
-__all__ = ["FCISolver", "FCIResult", "MultiRootFCIResult", "fci"]
+__all__ = [
+    "FCISolver",
+    "FCIResult",
+    "MultiRootFCIResult",
+    "fci",
+    "register_method",
+    "method_names",
+]
 
 logger = logging.getLogger(__name__)
 
-_METHODS = ("auto", "davidson", "olsen", "olsen-damped")
+# -- eigensolver method registry ------------------------------------------
+# Mirrors the kernel registry in repro.core.kernels: methods register a
+# dispatch function and FCISolver validates/routes by name, so adding a
+# solver (the way cdfci does below) never edits the driver's if/elif chain.
+_METHODS: dict = {}
+
+
+def register_method(name: str):
+    """Class-less registration decorator for eigensolver dispatchers.
+
+    The registered callable is invoked as
+    ``fn(solver, problem, sigma_fn, guess, precond, store, kwargs)`` and
+    must return a :class:`~repro.core.olsen.SolveResult`.
+    """
+
+    def decorate(fn):
+        _METHODS[name] = fn
+        return fn
+
+    return decorate
+
+
+def method_names() -> tuple[str, ...]:
+    """Registered eigensolver method names, sorted."""
+    return tuple(sorted(_METHODS))
+
+
+@register_method("davidson")
+def _dispatch_davidson(solver, problem, sigma_fn, guess, precond, store, kwargs):
+    return davidson_solve(sigma_fn, guess, precond, store=store, **kwargs)
+
+
+@register_method("auto")
+def _dispatch_auto(solver, problem, sigma_fn, guess, precond, store, kwargs):
+    return auto_adjusted_solve(sigma_fn, guess, precond, store=store, **kwargs)
+
+
+@register_method("olsen")
+def _dispatch_olsen(solver, problem, sigma_fn, guess, precond, store, kwargs):
+    return olsen_solve(sigma_fn, guess, precond, step=1.0, store=store, **kwargs)
+
+
+@register_method("olsen-damped")
+def _dispatch_olsen_damped(solver, problem, sigma_fn, guess, precond, store, kwargs):
+    return olsen_solve(
+        sigma_fn, guess, precond, step=solver.olsen_step, store=store, **kwargs
+    )
+
+
+@register_method("cdfci")
+def _dispatch_cdfci(solver, problem, sigma_fn, guess, precond, store, kwargs):
+    from .cdfci import cdfci_solve
+
+    kwargs = dict(kwargs)
+    kwargs.pop("telemetry", None)
+    kwargs.pop("checkpoint", None)
+    opts = dict(solver.vector_store or {})
+    opts.pop("kind", None)
+    return cdfci_solve(
+        problem,
+        guess=guess,
+        telemetry=solver.telemetry,
+        checkpoint=solver.checkpoint,
+        **opts,
+        **kwargs,
+    )
 
 
 @dataclass
@@ -82,8 +155,23 @@ class FCISolver:
         or "moc" (baseline).  Validated against the kernel registry
         (:func:`repro.core.kernels.kernel_names`) at construction time.
     method:
-        "auto" (paper's automatically adjusted single-vector method),
-        "davidson", "olsen", or "olsen-damped".
+        A registered eigensolver method (:func:`method_names`): "auto"
+        (paper's automatically adjusted single-vector method), "davidson",
+        "olsen", "olsen-damped", or "cdfci" (coordinate-descent FCI on a
+        sparse store; incompatible with ``spin_penalty`` and ``parallel``).
+    vector_store:
+        CI-vector storage backend for the solver's held vectors: a
+        registered store kind (:func:`repro.core.vectors.store_kinds` -
+        "dense", "mmap", "sparse") or an option dict such as
+        ``{"kind": "mmap", "directory": "/scratch"}``.  The default None
+        keeps plain in-RAM arrays (bitwise identical to the
+        pre-storage-layer behaviour, including the kernel block-width
+        heuristic).  "mmap" keeps Davidson's subspace / the single-vector
+        iterate out of core, and the kernel block budget is recomputed
+        from the store's *resident* footprint.  ``method="cdfci"`` always
+        solves on sparse stores; extra keys of the dict (e.g.
+        ``capacity``) are forwarded to
+        :func:`repro.core.cdfci.cdfci_solve`.
     block_columns:
         Column-block width of the sigma kernel's dense intermediates; the
         default None sizes it from a memory budget via
@@ -122,6 +210,7 @@ class FCISolver:
         wavefunction_irrep: str | None = None,
         algorithm: str = "dgemm",
         method: str = "auto",
+        vector_store: str | dict | None = None,
         block_columns: int | None = None,
         model_space_size: int = 50,
         spin_penalty: float = 0.0,
@@ -143,7 +232,42 @@ class FCISolver:
                 f"({', '.join(kernel_names())}); got {algorithm!r}"
             )
         if method not in _METHODS:
-            raise ValueError(f"method must be one of {_METHODS}")
+            raise ValueError(
+                f"method must be a registered eigensolver "
+                f"({', '.join(method_names())}); got {method!r}"
+            )
+        if vector_store is not None:
+            if isinstance(vector_store, str):
+                vector_store = {"kind": vector_store}
+            if not isinstance(vector_store, dict) or "kind" not in vector_store:
+                raise ValueError(
+                    "vector_store must be a store kind, a dict with a 'kind' "
+                    f"key, or None; got {vector_store!r}"
+                )
+            if vector_store["kind"] not in store_kinds():
+                raise ValueError(
+                    f"vector_store kind must be one of "
+                    f"{', '.join(store_kinds())}; got {vector_store['kind']!r}"
+                )
+        if method == "cdfci":
+            if vector_store is not None and vector_store["kind"] != "sparse":
+                raise ValueError(
+                    "cdfci solves on sparse stores; "
+                    f"vector_store={vector_store['kind']!r} cannot apply"
+                )
+            if spin_penalty:
+                raise ValueError(
+                    "cdfci assembles bare Hamiltonian columns; it does not "
+                    "support a spin penalty"
+                )
+            if parallel is not None:
+                raise ValueError("cdfci does not run through ParallelSigma")
+        elif vector_store is not None and vector_store["kind"] == "sparse":
+            raise ValueError(
+                "sparse stores back the cdfci method; dense iterative solvers "
+                "need a dense or mmap vector_store"
+            )
+        self.vector_store = vector_store
         if parallel is not None:
             if algorithm != "dgemm":
                 raise ValueError(
@@ -263,12 +387,48 @@ class FCISolver:
         )
         return problem, scf, mo
 
+    def _make_store(self, problem: CIProblem):
+        """The run's CI-vector store template, or None for plain arrays.
+
+        ``None`` (the default backend) deliberately bypasses the store layer
+        entirely so the solvers execute the exact pre-refactor code path;
+        cdfci manages its own sparse stores.
+        """
+        if self.vector_store is None or self.method == "cdfci":
+            return None
+        opts = {k: v for k, v in self.vector_store.items() if k != "kind"}
+        return make_store(self.vector_store["kind"], problem.shape, **opts)
+
+    def _store_block_columns(self, problem: CIProblem) -> int | None:
+        """Kernel block width, recomputed from the store's resident footprint.
+
+        Only an *explicit* ``vector_store`` changes the heuristic: the
+        default run must keep the pre-storage-layer block width so dense
+        results stay bitwise identical.  Dense stores pin their full held
+        vectors (C, sigma and a scratch per single-vector method - the
+        subspace methods' extra holds only widen the block conservatively);
+        mmap stores pin nothing, so only the kernels' in-flight working
+        copy is charged.
+        """
+        if self.block_columns is not None or self.vector_store is None:
+            return self.block_columns
+        from .plans import SigmaPlan
+
+        vec_bytes = 8 * problem.dimension
+        if self.vector_store["kind"] == "mmap":
+            resident = vec_bytes  # the kernels' in-flight working copy
+        else:
+            resident = 3 * vec_bytes
+        return SigmaPlan.for_problem(problem).default_block_columns(
+            resident_bytes=resident
+        )
+
     def build_operator(self, problem: CIProblem, **overrides) -> HamiltonianOperator:
         """The solver's sigma operator for an already-built problem."""
         spin_op = SpinOperator(problem)
         s_target = 0.5 * (self.mol.multiplicity - 1)
         kwargs = dict(
-            block_columns=self.block_columns,
+            block_columns=self._store_block_columns(problem),
             spin_penalty=self.spin_penalty,
             s2_target=s_target * (s_target + 1.0),
             telemetry=self.telemetry,
@@ -281,9 +441,13 @@ class FCISolver:
 
             popts = dict(self.parallel)
             popts.setdefault("backend", "simulated")
+            if popts["backend"] == "simulated" and self.vector_store is not None:
+                # the simulated machine's distributed C/sigma ride the same
+                # storage backend as the solver's held vectors
+                popts.setdefault("vector_store", dict(self.vector_store))
             kernel = ParallelSigma(
                 problem,
-                block_columns=self.block_columns,
+                block_columns=kwargs["block_columns"],
                 telemetry=self.telemetry,
                 **popts,
             )
@@ -338,16 +502,16 @@ class FCISolver:
             telemetry=self.telemetry,
             checkpoint=self.checkpoint,
         )
-        if self.method == "davidson":
-            solve = davidson_solve(sigma_fn, guess, precond, **kwargs)
-        elif self.method == "auto":
-            solve = auto_adjusted_solve(sigma_fn, guess, precond, **kwargs)
-        elif self.method == "olsen":
-            solve = olsen_solve(sigma_fn, guess, precond, step=1.0, **kwargs)
-        else:  # olsen-damped
-            solve = olsen_solve(
-                sigma_fn, guess, precond, step=self.olsen_step, **kwargs
+        store = self._make_store(problem)
+        try:
+            solve = _METHODS[self.method](
+                self, problem, sigma_fn, guess, precond, store, kwargs
             )
+        finally:
+            if store is not None:
+                if self.telemetry:
+                    publish_store_metrics(self.telemetry.registry, [store])
+                store.close()
 
         total = solve.energy + mo.e_core
         if self.telemetry:
@@ -383,7 +547,7 @@ class FCISolver:
             solve=solve,
             scf=scf,
             mo=mo,
-            n_sigma=sigma_fn.n_calls,
+            n_sigma=sigma_fn.n_calls or solve.n_sigma,
             s_squared=spin_op.expectation(solve.vector),
         )
 

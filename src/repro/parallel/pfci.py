@@ -60,6 +60,7 @@ import numpy as np
 from ..core.kernels import SigmaCounters, same_spin_sigma
 from ..core.plans import SigmaPlan
 from ..core.problem import CIProblem
+from ..core.vectors import make_store, publish_store_metrics, store_kinds
 from ..obs.accounting import account_parallel_report, account_sigma_dgemm
 from ..x1.ddi import DDIArray, DynamicLoadBalancer, block_ranges
 from ..x1.engine import Engine, RankStats, SymmetricHeap
@@ -145,6 +146,7 @@ class ParallelSigma:
         n_fine_per_proc: int = 8,
         n_large_per_proc: int = 3,
         n_small_per_proc: int = 4,
+        vector_store: str | dict | None = None,
         telemetry=None,
         tracer=None,
         faults=None,
@@ -176,6 +178,22 @@ class ParallelSigma:
                 blas_threads=blas_threads,
                 timeout=shm_timeout,
             )
+        if vector_store is not None:
+            if isinstance(vector_store, str):
+                vector_store = {"kind": vector_store}
+            kind = vector_store.get("kind")
+            if kind not in store_kinds() or kind == "sparse":
+                raise ValueError(
+                    "vector_store must be a dense-layout store kind "
+                    f"(dense, mmap); got {kind!r}"
+                )
+            if self.backend.name != "simulated":
+                raise ValueError(
+                    "store-backed distributed segments require the simulated "
+                    "backend; the shm backend's segments are POSIX shared "
+                    f"memory (got backend={self.backend.name!r})"
+                )
+        self.vector_store = vector_store
         if self.backend.name != "simulated":
             if self.faults is not None or self.resilient:
                 raise ValueError(
@@ -356,6 +374,16 @@ class ParallelSigma:
             account_parallel_report(
                 self.telemetry.registry, one, self.backend.n_ranks
             )
+            engine = getattr(self.backend, "_engine", None)
+            if engine is not None:
+                # shm path: residency of the POSIX shared segments, reported
+                # through transient DenseStore views (same gauge schema as
+                # the solvers' store metrics)
+                publish_store_metrics(
+                    self.telemetry.registry,
+                    engine.segment_stores(),
+                    prefix="parallel.segments",
+                )
         return run.sigma
 
     def close(self) -> None:
@@ -411,8 +439,26 @@ class ParallelSigma:
 
         heap = SymmetricHeap(P)
         fi = self.faults
-        Cd = DDIArray(heap, "C", na, nb, msps_per_node=cfg.msps_per_node, faults=fi)
-        Sd = DDIArray(heap, "sigma", na, nb, msps_per_node=cfg.msps_per_node, faults=fi)
+        stores = []
+        if self.vector_store is not None:
+            # the distributed C and sigma live inside CI-vector stores; every
+            # rank's heap segment is a row-block view into them, so an mmap
+            # store keeps the whole "distributed memory" on disk
+            opts = {k: v for k, v in self.vector_store.items() if k != "kind"}
+            stores = [
+                make_store(self.vector_store["kind"], (na, nb), **opts)
+                for _ in range(2)
+            ]
+        Cstore = stores[0] if stores else None
+        Sstore = stores[1] if stores else None
+        Cd = DDIArray(
+            heap, "C", na, nb, msps_per_node=cfg.msps_per_node, faults=fi,
+            store=Cstore,
+        )
+        Sd = DDIArray(
+            heap, "sigma", na, nb, msps_per_node=cfg.msps_per_node, faults=fi,
+            store=Sstore,
+        )
         dlb = DynamicLoadBalancer(heap)
         for r, (lo, hi) in enumerate(self.row_ranges):
             Cd.set_local(r, C[lo:hi])
@@ -423,12 +469,20 @@ class ParallelSigma:
             program = self._program(Cd, Sd, dlb)
 
         engine = Engine(cfg, heap, tracer=self.tracer, faults=fi)
-        stats = engine.run([program] * P)
+        try:
+            stats = engine.run([program] * P)
 
-        sigma = np.empty_like(C)
-        for r, (lo, hi) in enumerate(self.row_ranges):
-            if hi > lo:
-                sigma[lo:hi] = Sd.local_block(r)
+            sigma = np.empty_like(C)
+            for r, (lo, hi) in enumerate(self.row_ranges):
+                if hi > lo:
+                    sigma[lo:hi] = Sd.local_block(r)
+        finally:
+            if stores and self.telemetry:
+                publish_store_metrics(
+                    self.telemetry.registry, stores, prefix="parallel.vectors"
+                )
+            for s in stores:
+                s.close()
         return SigmaRun(
             sigma=sigma,
             stats=stats,

@@ -159,6 +159,20 @@ class ShmSigmaEngine:
             self.close()
             raise
 
+    def segment_stores(self) -> list:
+        """The shared segments as zero-copy :class:`DenseStore` views.
+
+        Built on demand and intentionally not retained: a held wrapper
+        would keep the exported shm buffers alive past :meth:`close` and
+        block the parent's unlink.  Callers use them transiently (the
+        storage-layer residency gauges) and drop them."""
+        from ...core.vectors import DenseStore
+
+        return [
+            DenseStore.wrap(self.comm.get(name))
+            for name in ("C", "one", "aa", "bb", "mix")
+        ]
+
     # -- plumbing -------------------------------------------------------------
     def _recv(self, rank: int, conn, timeout: float):
         if not conn.poll(timeout):

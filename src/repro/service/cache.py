@@ -45,13 +45,23 @@ _RESULT_VERSION = 1
 
 @dataclass
 class Workspace:
-    """One compiled CI problem family: integrals + SCF + problem (+ plan)."""
+    """One compiled CI problem family: integrals + SCF + problem (+ plan).
+
+    ``store_kind`` records which CI-vector storage backend
+    (:func:`repro.core.vectors.store_kinds`) the job that compiled this
+    workspace solves on.  It is bookkeeping, not identity: workspaces stay
+    keyed by ``space_key`` alone, because the compiled tables are
+    storage-agnostic (a dense and an mmap job on one molecule share them),
+    and the recorded kind surfaces in :meth:`ArtifactCache.stats` so an
+    operator can see which families run out-of-core.
+    """
 
     space_key: str
     ao: object
     scf: object
     mo: object
     problem: object
+    store_kind: str = "dense"
 
     @property
     def plan_nbytes(self) -> int:
@@ -215,11 +225,15 @@ class ArtifactCache:
 
     def stats(self) -> dict:
         with self._lock:
+            by_store: dict[str, int] = {}
+            for ws in self._workspaces.values():
+                by_store[ws.store_kind] = by_store.get(ws.store_kind, 0) + 1
             return {
                 **self.counts,
                 "workspaces": len(self._workspaces),
                 "workspace_plan_bytes": sum(
                     ws.plan_nbytes for ws in self._workspaces.values()
                 ),
+                "workspace_store_kinds": by_store,
                 "results": len(self.result_keys()),
             }

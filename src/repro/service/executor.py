@@ -100,8 +100,15 @@ class ServiceCheckpointer(Checkpointer):
         timed_out = self.deadline is not None and time.monotonic() > self.deadline
         if preempt or timed_out:
             # durability before interruption: the exception only fires once
-            # the interrupting state is safely on disk
+            # the interrupting state is safely on disk.  For mmap-backed
+            # solves the save streams the vector into the fsynced sidecar
+            # (never through RAM as one blob) - count those flushes so the
+            # out-of-core preemption path is observable.
             self.save(state)
+            if state.store_kind == "mmap" and self.telemetry:
+                c = self.telemetry.counter("service.preempt.mmap_flush")
+                if c is not None:
+                    c.inc()
             if preempt:
                 raise JobPreempted(
                     f"preempted at iteration {state.iteration} (checkpoint saved)"
@@ -204,12 +211,16 @@ class SolveExecutor:
 
             solver = self._solver(spec, telemetry=telemetry)
             problem, scf, mo = solver.build_problem()
+            store = spec.solver_kwargs()["vector_store"]
+            if isinstance(store, dict):
+                store = store.get("kind")
             return Workspace(
                 space_key=spec.space_key,
                 ao=solver._ao,
                 scf=scf,
                 mo=mo,
                 problem=problem,
+                store_kind=store or "dense",
             )
 
         try:
@@ -234,6 +245,7 @@ class SolveExecutor:
             "dimension": int(result.problem.dimension),
             "method": result.solve.method,
             "workspace_hit": bool(ws_hit),
+            "store_kind": workspace.store_kind,
         }
         self.cache.put_result(record.key, payload, result.vector)
         checkpoint.clear()  # the durable artifact is now the cached result

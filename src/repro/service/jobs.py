@@ -104,10 +104,15 @@ class JobSpec:
     """Everything that determines an FCI answer, in hashable canonical form.
 
     ``atoms`` holds ``(symbol, (x, y, z))`` tuples in Bohr.  ``parallel``
-    is a tuple of sorted ``(option, value)`` pairs (or None) so the spec
-    stays hashable; :meth:`solver_kwargs` converts it back to the dict
-    :class:`~repro.core.solver.FCISolver` takes.  ``label`` is a display
-    name only and is excluded from the digests.
+    and ``vector_store`` option dicts are frozen to tuples of sorted
+    ``(option, value)`` pairs (a bare store kind string stays a string) so
+    the spec stays hashable; :meth:`solver_kwargs` converts them back to
+    what :class:`~repro.core.solver.FCISolver` takes.  ``vector_store`` is
+    answer-affecting on purpose: dense and mmap backends are bitwise
+    interchangeable, but a cdfci ``capacity`` changes the convergence path,
+    so the safe canonical rule is "different storage config, different job
+    key".  ``label`` is a display name only and is excluded from the
+    digests.
     """
 
     atoms: tuple
@@ -120,6 +125,7 @@ class JobSpec:
     wavefunction_irrep: str | None = None
     algorithm: str = "dgemm"
     method: str = "auto"
+    vector_store: tuple | str | None = None
     block_columns: int | None = None
     model_space_size: int = 50
     spin_penalty: float = 0.0
@@ -164,6 +170,8 @@ class JobSpec:
         d["atoms"] = [[sym, list(pos)] for sym, pos in self.atoms]
         if self.parallel is not None:
             d["parallel"] = dict(self.parallel)
+        if isinstance(self.vector_store, tuple):
+            d["vector_store"] = dict(self.vector_store)
         return d
 
     # -- consumption ---------------------------------------------------------
@@ -184,6 +192,11 @@ class JobSpec:
             wavefunction_irrep=self.wavefunction_irrep,
             algorithm=self.algorithm,
             method=self.method,
+            vector_store=(
+                dict(self.vector_store)
+                if isinstance(self.vector_store, tuple)
+                else self.vector_store
+            ),
             block_columns=self.block_columns,
             model_space_size=self.model_space_size,
             spin_penalty=self.spin_penalty,
@@ -222,7 +235,7 @@ class JobSpec:
 
 def _freeze(name: str, value):
     """Coerce JSON-decoded values into the spec's hashable canonical types."""
-    if name == "parallel" and isinstance(value, dict):
+    if name in ("parallel", "vector_store") and isinstance(value, dict):
         return tuple(sorted(value.items()))
     if name in ("spin_penalty", "olsen_step", "energy_tol", "residual_tol"):
         return float(value)

@@ -65,7 +65,14 @@ class DDIArray:
         numeric: bool = True,
         msps_per_node: int = 4,
         faults=None,
+        store=None,
     ):
+        """``store`` (a dense-layout :class:`repro.core.vectors.CIVectorStore`
+        of shape (n_rows, n_cols)) backs the distributed array: every rank's
+        segment becomes a row-block *view* into the store's array, so an
+        out-of-core ``MmapStore`` puts the whole distributed vector on disk
+        while the one-sided verbs operate on it unchanged (an ``np.memmap``
+        slice is an ndarray).  None keeps plain per-rank heap arrays."""
         self.heap = heap
         self.name = name
         self.msps_per_node = max(1, int(msps_per_node))
@@ -73,15 +80,20 @@ class DDIArray:
         self.n_cols = int(n_cols)
         self.numeric = numeric
         self.faults = faults
+        self.store = store
         self.ranges = block_ranges(self.n_rows, heap.n_ranks)
         self._row_owner = np.empty(self.n_rows, dtype=np.int64)
         for r, (lo, hi) in enumerate(self.ranges):
             self._row_owner[lo:hi] = r
-        heap.alloc_per_rank(
-            name,
-            [(hi - lo, self.n_cols) for lo, hi in self.ranges],
-            numeric=numeric,
-        )
+        if store is not None:
+            backing = store.as_ndarray().reshape(self.n_rows, self.n_cols)
+            heap.alloc_segments(name, [backing[lo:hi] for lo, hi in self.ranges])
+        else:
+            heap.alloc_per_rank(
+                name,
+                [(hi - lo, self.n_cols) for lo, hi in self.ranges],
+                numeric=numeric,
+            )
         # one mutex per *node* (paper: DDI_ACC locks the remote node);
         # the id block is heap-unique so two simulations never collide.
         self._mutex_base = heap.next_mutex_base()

@@ -139,6 +139,24 @@ class SymmetricHeap:
         else:
             self._arrays[name] = [None] * self.n_ranks
 
+    def alloc_segments(self, name: str, segments: list[np.ndarray]) -> None:
+        """Install externally-owned arrays as the per-rank segments.
+
+        The storage-layer hook: a :class:`repro.x1.ddi.DDIArray` backed by a
+        CI-vector store hands row-block views of the store's array here, so
+        the simulated machine's "distributed memory" can live wherever the
+        store puts it (RAM, or an mmapped file for out-of-core runs).  The
+        caller keeps ownership; the heap never frees these."""
+        if len(segments) != self.n_ranks:
+            raise ValueError("need one segment per rank")
+        if name in self._arrays:
+            raise KeyError(f"heap segment {name!r} already allocated")
+        self._shapes[name] = (
+            tuple(segments[0].shape) if segments else (),
+            segments[0].dtype if segments else np.float64,
+        )
+        self._arrays[name] = list(segments)
+
     def segment(self, name: str, rank: int) -> np.ndarray | None:
         return self._arrays[name][rank]
 

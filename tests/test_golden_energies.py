@@ -55,3 +55,11 @@ class TestGoldenEnergies:
     def test_correlation_energy_is_negative(self, multiroot_results, name):
         res = multiroot_results[name]
         assert res.energies[0] < res.scf.energy
+
+    def test_dense_store_is_bitwise_identical(self, molecules, name):
+        # the storage layer's contract: routing the default solve through an
+        # explicit DenseStore changes nothing — not the energy's last bit
+        default = FCISolver(molecules[name], "sto-3g").run()
+        stored = FCISolver(molecules[name], "sto-3g", vector_store="dense").run()
+        assert stored.energy == default.energy  # exact float equality
+        assert abs(stored.energy - GOLDEN[name][0]) < TOL

@@ -20,9 +20,12 @@ from .fuzz import (
     shrink,
 )
 from .plans import (
+    BACKEND_SCENARIOS,
     CHAOS_SCENARIOS,
     SERVICE_SCENARIOS,
     ChaosEnv,
+    backend_scenario_names,
+    build_backend_plan,
     build_fault_plan,
     build_service_plan,
     chaos_scenario_names,
@@ -32,11 +35,14 @@ from .plans import (
 
 __all__ = [
     "ChaosEnv",
+    "BACKEND_SCENARIOS",
     "CHAOS_SCENARIOS",
     "SERVICE_SCENARIOS",
     "register_chaos_scenario",
+    "backend_scenario_names",
     "chaos_scenario_names",
     "service_scenario_names",
+    "build_backend_plan",
     "build_fault_plan",
     "build_service_plan",
     "FuzzBudget",

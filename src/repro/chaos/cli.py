@@ -29,7 +29,11 @@ import logging
 import sys
 
 from .fuzz import FuzzBudget, FuzzCase, FuzzRunner
-from .plans import chaos_scenario_names, service_scenario_names
+from .plans import (
+    backend_scenario_names,
+    chaos_scenario_names,
+    service_scenario_names,
+)
 
 __all__ = ["main"]
 
@@ -101,6 +105,9 @@ def _cmd_scenarios(_args) -> int:
         print(f"  {name}")
     print("service chaos scenarios (compose into a ServiceFaultPlan):")
     for name in service_scenario_names():
+        print(f"  {name}")
+    print("backend chaos scenarios (compose into a real-process knob dict):")
+    for name in backend_scenario_names():
         print(f"  {name}")
     return 0
 

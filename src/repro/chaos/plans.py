@@ -16,15 +16,20 @@ that round-trips through JSON (``FaultPlan.to_dict``/``from_dict``), which
 is what lets the fuzzer persist a failing schedule as a replayable
 reproducer.
 
-Two registries, same discipline as :data:`repro.faults.SCENARIOS`:
+Three registries, same discipline as :data:`repro.faults.SCENARIOS`:
 
 * :data:`CHAOS_SCENARIOS` - simulated-X1 fault schedules (consumed by
   ``ParallelSigma(faults=...)`` and solver checkpointing),
 * :data:`SERVICE_SCENARIOS` - service-layer fault plans (consumed by
-  ``FCIService(service_faults=...)``).
+  ``FCIService(service_faults=...)``),
+* :data:`BACKEND_SCENARIOS` - real-process execution-backend faults
+  (killed workers, stragglers); these compose into a plain knob dict via
+  :func:`build_backend_plan` because the real backends take keyword
+  options, not a :class:`~repro.faults.FaultPlan`.
 
 Unknown names raise :class:`ValueError` listing the registered names;
-:func:`chaos_scenario_names` / :func:`service_scenario_names` expose them.
+:func:`chaos_scenario_names` / :func:`service_scenario_names` /
+:func:`backend_scenario_names` expose them.
 """
 
 from __future__ import annotations
@@ -39,11 +44,14 @@ __all__ = [
     "ChaosEnv",
     "CHAOS_SCENARIOS",
     "SERVICE_SCENARIOS",
+    "BACKEND_SCENARIOS",
     "register_chaos_scenario",
     "chaos_scenario_names",
     "service_scenario_names",
+    "backend_scenario_names",
     "build_fault_plan",
     "build_service_plan",
+    "build_backend_plan",
 ]
 
 
@@ -66,6 +74,7 @@ Generator = Callable[[ChaosEnv, random.Random], dict]
 
 CHAOS_SCENARIOS: dict[str, Generator] = {}
 SERVICE_SCENARIOS: dict[str, Generator] = {}
+BACKEND_SCENARIOS: dict[str, Generator] = {}
 
 
 def register_chaos_scenario(name: str, *, registry: dict | None = None):
@@ -89,6 +98,11 @@ def chaos_scenario_names() -> list[str]:
 def service_scenario_names() -> list[str]:
     """The registered service chaos-scenario names, sorted."""
     return sorted(SERVICE_SCENARIOS)
+
+
+def backend_scenario_names() -> list[str]:
+    """The registered execution-backend chaos-scenario names, sorted."""
+    return sorted(BACKEND_SCENARIOS)
 
 
 # -- X1 schedule generators ---------------------------------------------------
@@ -219,6 +233,37 @@ def _telemetry_blackout(env: ChaosEnv, rng: random.Random) -> dict:
     return {"telemetry_io_error": rng.uniform(0.3, 1.0)}
 
 
+# -- execution-backend generators ---------------------------------------------
+
+
+@register_chaos_scenario("socket_worker_kill", registry=BACKEND_SCENARIOS)
+def _socket_worker_kill(env: ChaosEnv, rng: random.Random) -> dict:
+    """SIGKILL one real socket worker mid-span.
+
+    ``straggle_seconds`` (the engine's per-task chaos hook) widens the
+    mixed-spin span window so the kill reliably lands *inside* a span;
+    the engine must convert the death into a ``RuntimeError`` naming the
+    rank within its heartbeat budget — never a hang.
+    """
+    return {
+        "backend": "sockets",
+        "kill_rank": rng.randrange(max(1, env.n_ranks)),
+        "kill_after_seconds": rng.uniform(0.05, 0.25),
+        "straggle_seconds": rng.uniform(0.05, 0.2),
+    }
+
+
+@register_chaos_scenario("shm_worker_kill", registry=BACKEND_SCENARIOS)
+def _shm_worker_kill(env: ChaosEnv, rng: random.Random) -> dict:
+    """SIGKILL one real shm worker mid-span (same contract as sockets)."""
+    return {
+        "backend": "shm",
+        "kill_rank": rng.randrange(max(1, env.n_ranks)),
+        "kill_after_seconds": rng.uniform(0.05, 0.25),
+        "straggle_seconds": rng.uniform(0.05, 0.2),
+    }
+
+
 # -- composition --------------------------------------------------------------
 
 
@@ -253,6 +298,27 @@ def build_fault_plan(names, env: ChaosEnv, seed: int) -> FaultPlan:
     """
     scalars = _compose(names, env, seed, CHAOS_SCENARIOS, "chaos")
     return FaultPlan(seed=seed, **scalars)
+
+
+def build_backend_plan(names, env: ChaosEnv, seed: int) -> dict:
+    """Compose named backend scenarios into one plain knob dict.
+
+    Real-process backends are configured with keyword options (worker
+    count, straggle hook), so the composed plan stays a dict the test
+    harness interprets: ``kill_rank``/``kill_after_seconds`` drive the
+    killer, ``straggle_seconds`` passes through to the engine.
+    """
+    unknown = [n for n in names if n not in BACKEND_SCENARIOS]
+    if unknown:
+        raise ValueError(
+            f"unknown backend scenario(s) {unknown}; "
+            f"registered: {backend_scenario_names()}"
+        )
+    rng = random.Random(seed)
+    plan: dict = {}
+    for name in names:
+        plan.update(BACKEND_SCENARIOS[name](env, rng))
+    return plan
 
 
 def build_service_plan(names, env: ChaosEnv, seed: int) -> ServiceFaultPlan:

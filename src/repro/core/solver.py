@@ -180,8 +180,9 @@ class FCISolver:
         Run sigma through :class:`repro.parallel.ParallelSigma` instead of
         the serial kernel: an execution-backend name (``"simulated"`` for
         the discrete-event X1, ``"shm"`` for real worker processes over
-        shared memory) or an option dict passed to ``ParallelSigma``
-        (e.g. ``{"backend": "shm", "n_workers": 4}``).  Requires
+        shared memory, ``"sockets"`` for real worker processes behind a
+        TCP coordinator) or an option dict passed to ``ParallelSigma``
+        (e.g. ``{"backend": "sockets", "n_workers": 4}``).  Requires
         ``algorithm="dgemm"`` (the parallel decomposition is the paper's
         DGEMM sigma); the default None keeps the serial kernel.  Worker
         pools are shut down when :meth:`run` returns.

@@ -1,12 +1,16 @@
 """Parallel FCI: numeric and trace drivers on pluggable execution backends.
 
 The numeric driver (:class:`ParallelSigma`) runs the paper's rank
-decomposition either on the simulated Cray-X1 (virtual time) or on real
-OS processes over shared memory (:mod:`repro.parallel.shm`); the
-:class:`~repro.parallel.backend.Backend` protocol is the seam.
+decomposition on the simulated Cray-X1 (virtual time), on real OS
+processes over shared memory (:mod:`repro.parallel.shm`), or on real OS
+processes behind a TCP coordinator (:mod:`repro.parallel.sockets`); the
+:class:`~repro.parallel.backend.Backend` protocol is the seam, and
+:mod:`repro.parallel.rankwork` is the one decomposition + per-rank
+program every real-process substrate executes.
 """
 
 from .backend import Backend, SigmaRun, backend_names, make_backend
+from .rankwork import SigmaDecomposition, build_sigma_decomposition, run_rank_sigma
 from .taskpool import Task, build_task_pool, pool_statistics
 from .pfci import ParallelReport, ParallelSigma
 from .trace import (
@@ -23,6 +27,9 @@ __all__ = [
     "SigmaRun",
     "backend_names",
     "make_backend",
+    "SigmaDecomposition",
+    "build_sigma_decomposition",
+    "run_rank_sigma",
     "Task",
     "build_task_pool",
     "pool_statistics",

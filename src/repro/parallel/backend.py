@@ -16,7 +16,7 @@ barrier    all-ranks rendezvous
 quiet      complete all outstanding one-sided traffic (SHMEM_QUIET)
 ======  =====================================================================
 
-Two backends implement the protocol:
+Three backends implement the protocol:
 
 * ``"simulated"`` — the discrete-event Cray-X1 (:mod:`repro.x1`): the verbs
   are the generator-style engine ops (``DDIArray.iget_* / iacc_*``,
@@ -28,6 +28,13 @@ Two backends implement the protocol:
   no-op fence (CPython releases the GIL around the BLAS/NumPy work, and
   the parent's reply collection orders all writes), measured in *wall*
   time.
+* ``"sockets"`` — real OS processes over TCP (:mod:`repro.parallel
+  .sockets`): a coordinator serves the symmetric heap as length-prefixed
+  messages; ``get`` is a framed window read, ``acc`` a one-way
+  accumulate, ``fetch_add`` a served counter, ``barrier`` a thread
+  barrier over all connections, ``quiet`` an ordered-channel round-trip.
+  Workers are spawned on loopback or join from other hosts; heartbeats
+  make a dead worker a named ``RuntimeError``, not a hang.
 
 A :class:`Backend` instance owns whatever long-lived machinery its verbs
 need (the simulated heap/engine, or the worker process pool) and executes
@@ -51,6 +58,7 @@ __all__ = [
     "SigmaRun",
     "SimulatedBackend",
     "ShmBackend",
+    "SocketsBackend",
     "backend_names",
     "make_backend",
     "register_backend",
@@ -210,7 +218,86 @@ class ShmBackend(Backend):
 
     def run_sigma(self, owner, C: np.ndarray) -> SigmaRun:
         engine = self.engine(owner.plan, owner.block_columns)
-        return engine.sigma(C)
+        try:
+            return engine.sigma(C)
+        except Exception:
+            # a failed run closes the engine; drop it so the next call
+            # spins up a fresh pool instead of hitting the closed guard
+            if getattr(engine, "_closed", False):
+                self._engine = None
+            raise
+
+    def close(self) -> None:
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+
+
+@register_backend("sockets")
+class SocketsBackend(Backend):
+    """Real OS processes behind a TCP coordinator (loopback or multi-node).
+
+    Lazily builds a :class:`repro.parallel.sockets.SocketSigmaEngine` — a
+    coordinator serving the symmetric heap over length-prefixed TCP plus
+    ``n_workers`` spawned (or, with ``spawn="external"``, hand-started)
+    worker processes — on first use and keeps it alive across sigma
+    evaluations.  Extra keyword options (``host``/``port``/``token``/
+    ``spawn``/``heartbeat_interval``/``heartbeat_misses``/
+    ``straggle_seconds``) pass straight through to the engine.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_workers: int | None = None,
+        blas_threads: int = 1,
+        timeout: float = 300.0,
+        **engine_options,
+    ):
+        import os
+
+        self.n_workers = int(n_workers) if n_workers else min(4, os.cpu_count() or 1)
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.blas_threads = int(blas_threads)
+        self.timeout = float(timeout)
+        self.engine_options = dict(engine_options)
+        self._engine = None
+
+    @property
+    def n_ranks(self) -> int:
+        return self.n_workers
+
+    def engine(self, plan, block_columns: int):
+        if self._engine is None:
+            from .sockets.engine import SocketSigmaEngine
+
+            self._engine = SocketSigmaEngine(
+                plan,
+                n_workers=self.n_workers,
+                block_columns=block_columns,
+                blas_threads=self.blas_threads,
+                timeout=self.timeout,
+                **self.engine_options,
+            )
+        return self._engine
+
+    def describe(self) -> dict:
+        return {
+            "backend": self.name,
+            "n_ranks": self.n_ranks,
+            "blas_threads": self.blas_threads,
+            "spawn": self.engine_options.get("spawn", "process"),
+        }
+
+    def run_sigma(self, owner, C: np.ndarray) -> SigmaRun:
+        engine = self.engine(owner.plan, owner.block_columns)
+        try:
+            return engine.sigma(C)
+        except Exception:
+            if getattr(engine, "_closed", False):
+                self._engine = None
+            raise
 
     def close(self) -> None:
         if self._engine is not None:

@@ -24,11 +24,12 @@ The result is bit-identical (to roundoff) with the serial
 counts.
 
 Execution is delegated to a :class:`repro.parallel.backend.Backend`
-(``backend="simulated"`` — the discrete-event X1 above, or
-``backend="shm"`` — real OS processes over POSIX shared memory,
-:mod:`repro.parallel.shm`), chosen at construction with no algorithm
-changes; the shm path is additionally *bitwise*-identical to the serial
-kernel.  ``ParallelSigma`` also satisfies the
+(``backend="simulated"`` — the discrete-event X1 above; ``backend="shm"``
+— real OS processes over POSIX shared memory, :mod:`repro.parallel.shm`;
+or ``backend="sockets"`` — real OS processes behind a TCP coordinator,
+:mod:`repro.parallel.sockets`), chosen at construction with no algorithm
+changes; the real-process paths are additionally *bitwise*-identical to
+the serial kernel.  ``ParallelSigma`` also satisfies the
 :class:`repro.core.kernels.SigmaKernel` protocol, so it drops into
 :class:`repro.core.operator.HamiltonianOperator` and
 ``FCISolver(..., parallel=...)`` like any serial kernel.
@@ -118,11 +119,17 @@ class ParallelSigma:
 
     ``backend`` selects the execution substrate: ``"simulated"`` (the
     discrete-event X1, default), ``"shm"`` (real OS processes over shared
-    memory; ``n_workers``/``blas_threads``/``shm_timeout`` configure the
-    pool), or a ready :class:`repro.parallel.backend.Backend` instance.
-    The shm backend holds worker processes until :meth:`close` (also a
-    context manager), and rejects ``faults``/``tracer`` — fault injection
-    and virtual-time traces are properties of the simulated machine.
+    memory), ``"sockets"`` (real OS processes behind a TCP coordinator —
+    loopback today, multi-node tomorrow), or a ready
+    :class:`repro.parallel.backend.Backend` instance.
+    ``n_workers``/``blas_threads``/``shm_timeout`` configure any
+    real-process pool; ``backend_options`` passes extra substrate-specific
+    keywords through to the backend constructor (e.g. the sockets
+    backend's ``host``/``port``/``spawn``/``heartbeat_interval``).  A
+    real-process backend holds worker processes until :meth:`close` (also
+    a context manager), and rejects ``faults``/``tracer`` — fault
+    injection and virtual-time traces are properties of the simulated
+    machine.
 
     ``telemetry`` (a :class:`repro.obs.Telemetry`) routes per-call FLOP and
     byte accounting into its metrics registry; ``tracer`` (a
@@ -142,6 +149,7 @@ class ParallelSigma:
         n_workers: int | None = None,
         blas_threads: int = 1,
         shm_timeout: float = 300.0,
+        backend_options: dict | None = None,
         block_columns: int | None = None,
         n_fine_per_proc: int = 8,
         n_large_per_proc: int = 3,
@@ -177,6 +185,7 @@ class ParallelSigma:
                 n_workers=n_workers,
                 blas_threads=blas_threads,
                 timeout=shm_timeout,
+                **(backend_options or {}),
             )
         if vector_store is not None:
             if isinstance(vector_store, str):
@@ -190,8 +199,10 @@ class ParallelSigma:
             if self.backend.name != "simulated":
                 raise ValueError(
                     "store-backed distributed segments require the simulated "
-                    "backend; the shm backend's segments are POSIX shared "
-                    f"memory (got backend={self.backend.name!r})"
+                    "backend; a real-process backend's segments live in its "
+                    "own substrate (POSIX shared memory for shm, the TCP "
+                    "coordinator's heap for sockets) "
+                    f"(got backend={self.backend.name!r})"
                 )
         self.vector_store = vector_store
         if self.backend.name != "simulated":
@@ -376,7 +387,8 @@ class ParallelSigma:
             )
             engine = getattr(self.backend, "_engine", None)
             if engine is not None:
-                # shm path: residency of the POSIX shared segments, reported
+                # real-process path: residency of the backend's segments
+                # (POSIX shm, or the TCP coordinator's heap), reported
                 # through transient DenseStore views (same gauge schema as
                 # the solvers' store metrics)
                 publish_store_metrics(

@@ -98,10 +98,19 @@ class ShmComm:
         self._names = dict(spec.names)
         self._shms = {}
         self._views = {}
-        for name, shape in spec.segments.items():
-            shm = shared_memory.SharedMemory(name=spec.names[name])
-            self._shms[name] = shm
-            self._views[name] = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+        try:
+            for name, shape in spec.segments.items():
+                shm = shared_memory.SharedMemory(name=spec.names[name])
+                self._shms[name] = shm
+                self._views[name] = np.ndarray(
+                    shape, dtype=np.float64, buffer=shm.buf
+                )
+        except BaseException:
+            # a worker dying between attaching segment 1 and segment N must
+            # not leave the earlier mappings open (they pin /dev/shm space
+            # and, through the resource tracker, can outlive the parent)
+            self.close()
+            raise
         return self
 
     def spec(self) -> ShmCommSpec:

@@ -36,11 +36,10 @@ import time
 
 import numpy as np
 
-from ...core.kernels import column_blocks
 from ...core.plans import SigmaPlan
 from ...x1.engine import RankStats
 from ..backend import SigmaRun
-from ..taskpool import build_task_pool
+from ..rankwork import build_sigma_decomposition
 from .comm import ShmComm
 
 __all__ = ["ShmSigmaEngine"]
@@ -67,6 +66,7 @@ class ShmSigmaEngine:
         block_columns: int,
         blas_threads: int = 1,
         timeout: float = 300.0,
+        straggle_seconds: float = 0.0,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -78,20 +78,13 @@ class ShmSigmaEngine:
         na, nb = plan.shape
         self.shape = (na, nb)
 
-        # the serial kernel's canonical blocking is the distribution unit
-        self.aa_blocks = column_blocks(nb, self.block_columns)
-        self.bb_blocks = column_blocks(na, self.block_columns)
-        # mixed-spin pool: size-ordered aggregated spans of beta-axis blocks
-        # (cost of a block ~ its GEMM work, width x alpha dimension)
-        block_costs = np.array([(hi - lo) * na for lo, hi in self.aa_blocks], float)
-        tasks = build_task_pool(
-            block_costs,
-            self.n_workers,
-            n_fine_per_proc=2,
-            n_large_per_proc=1,
-            n_small_per_proc=2,
-        )
-        self.tasks = [(t.start, t.stop) for t in tasks]
+        # the one decomposition shared with the sockets backend: canonical
+        # column blocks round-robined, size-ordered mixed-spin spans
+        decomp = build_sigma_decomposition(plan, self.n_workers, self.block_columns)
+        self.decomposition = decomp
+        self.aa_blocks = decomp.aa_blocks
+        self.bb_blocks = decomp.bb_blocks
+        self.tasks = decomp.tasks
 
         ctx = mp.get_context("spawn")
         self.comm = ShmComm(
@@ -114,11 +107,13 @@ class ShmSigmaEngine:
             "tasks": self.tasks,
             "blas_threads": self.blas_threads,
             "timeout": self.timeout,
+            "straggle_seconds": float(straggle_seconds),
         }
         self._procs: list = []
         self._conns: list = []
         self._seq = 0
         self._lock = threading.Lock()
+        self._closed = False
         spec = self.comm.spec()
         saved = {k: os.environ.get(k) for k in _BLAS_ENV}
         try:
@@ -197,6 +192,11 @@ class ShmSigmaEngine:
         if C.shape != (na, nb):
             raise ValueError(f"C must have shape {(na, nb)}, got {C.shape}")
         with self._lock:
+            if self._closed:
+                raise RuntimeError(
+                    "shm engine is closed (a worker died or close() was "
+                    "called); build a new ParallelSigma/backend"
+                )
             return self._sigma_locked(C)
 
     def _sigma_locked(self, C: np.ndarray) -> SigmaRun:
@@ -269,6 +269,7 @@ class ShmSigmaEngine:
     # -- lifecycle ------------------------------------------------------------
     def close(self) -> None:
         """Stop workers, join, and release the shared segments."""
+        self._closed = True
         for conn in self._conns:
             try:
                 conn.send(("stop",))

@@ -1,20 +1,15 @@
 """Worker process for the shared-memory sigma engine.
 
 Each worker is one *rank* of the paper's decomposition, executing on a
-real OS process what the simulated MSPs execute in virtual time:
-
-* attach to the parent's :class:`~repro.parallel.shm.comm.ShmComm`
-  segments (the pickled :class:`~repro.core.plans.SigmaPlan` arrives once,
-  through the spawn args — the paper's replicated coupling tables),
-* **one-electron** terms: rank 0 only, operand-for-operand the serial
-  ``DgemmKernel.apply_batch`` prologue, stored into the owned ``one``
-  segment,
-* **alpha-alpha** / **beta-beta** same-spin terms: statically balanced
-  round-robin over the kernel's canonical column blocks, written into the
-  owned windows of the ``aa`` / ``bb`` segments,
-* **mixed-spin** term: dynamically load-balanced spans of column blocks
-  claimed through ``fetch_add`` (the DLB counter), scattered into the
-  ``mix`` segment — tasks own disjoint column spans, so no locking.
+real OS process what the simulated MSPs execute in virtual time.  The
+per-rank program itself — one-electron prologue on rank 0, round-robin
+same-spin column blocks, ``fetch_add``-claimed mixed-spin spans — lives
+in :func:`repro.parallel.rankwork.run_rank_sigma`, shared verbatim with
+the sockets backend so the two substrates cannot drift from the bitwise
+contract.  Here the substrate specifics are: outputs are the parent's
+shared-memory segments written in place (zero-copy views), the pickled
+:class:`~repro.core.plans.SigmaPlan` arrives once through the spawn args,
+and the DLB counter is :meth:`ShmComm.fetch_add`.
 
 Because every block is a *whole* canonical column block, each DGEMM sees
 exactly the operands the serial kernel would give it, and the parent's
@@ -32,15 +27,8 @@ from __future__ import annotations
 import time
 import traceback
 
-import numpy as np
-
-from ...core.kernels import (
-    SigmaCounters,
-    _alpha_layout,
-    _beta_layout,
-    mixed_spin_sigma_stack,
-    same_spin_sigma_stack,
-)
+from ...core.kernels import SigmaCounters
+from ..rankwork import run_rank_sigma
 from .comm import ShmComm, ShmCommSpec
 
 __all__ = ["worker_main"]
@@ -66,12 +54,6 @@ def _pin_blas_threads(n: int):
 def _run_sigma(rank: int, comm: ShmComm, payload: dict) -> dict:
     """One sigma evaluation; returns the rank's wall-clock stats."""
     plan = payload["plan"]
-    bc = payload["block_columns"]
-    n_workers = payload["n_workers"]
-    aa_blocks = payload["aa_blocks"]
-    bb_blocks = payload["bb_blocks"]
-    tasks = payload["tasks"]
-    na, nb = plan.shape
 
     counters = SigmaCounters()
     phase_times: dict[str, float] = {}
@@ -79,69 +61,29 @@ def _run_sigma(rank: int, comm: ShmComm, payload: dict) -> dict:
 
     C_stack = comm.get("C")[None]  # (1, na, nb) window, zero-copy
 
-    # one-electron alpha + beta: rank 0, exactly the serial prologue
-    if rank == 0:
-        t0 = time.perf_counter()
-        one = np.asarray(plan.Ta @ _alpha_layout(C_stack))
-        one = one.reshape(na, 1, nb).transpose(1, 0, 2)
-        one = one + np.asarray(
-            plan.Tb @ _beta_layout(C_stack)
-        ).reshape(nb, 1, na).transpose(1, 2, 0)
-        comm.get("one")[...] = one[0]
-        phase_times["one-electron"] = time.perf_counter() - t0
-
-    # alpha-alpha doubles: this rank's round-robin share of the beta-axis
-    # column blocks, stored into disjoint owned windows of `aa`
-    my_aa = aa_blocks[rank::n_workers]
-    if plan.same_a is not None and my_aa:
-        t0 = time.perf_counter()
-        same_spin_sigma_stack(
-            plan.same_a,
-            plan.w_matrix,
-            C_stack,
-            bc,
-            counters,
-            col_blocks=my_aa,
-            out=comm.get("aa")[None],
-        )
-        phase_times["alpha-alpha"] = time.perf_counter() - t0
-
-    # beta-beta doubles on the transposed stack (paper Fig. 2a), blocks
-    # over the alpha axis
-    my_bb = bb_blocks[rank::n_workers]
-    if plan.same_b is not None and my_bb:
-        t0 = time.perf_counter()
-        rows_stack = np.ascontiguousarray(C_stack.transpose(0, 2, 1))
-        same_spin_sigma_stack(
-            plan.same_b,
-            plan.w_matrix,
-            rows_stack,
-            bc,
-            counters,
-            col_blocks=my_bb,
-            out=comm.get("bb")[None],
-        )
-        phase_times["beta-beta"] = time.perf_counter() - t0
-
-    # mixed-spin: dynamic task pool over column-block spans
-    t0 = time.perf_counter()
-    mix_out = comm.get("mix")[None]
-    n_tasks_done = 0
-    while True:
-        tid = comm.fetch_add()
-        if tid >= len(tasks):
-            break
-        blo, bhi = tasks[tid]
-        mixed_spin_sigma_stack(
-            plan,
-            C_stack,
-            bc,
-            counters,
-            col_blocks=aa_blocks[blo:bhi],
-            out=mix_out,
-        )
-        n_tasks_done += 1
-    phase_times["alpha-beta"] = time.perf_counter() - t0
+    # outputs are the shared segments themselves: every phase writes only
+    # this rank's disjoint owned windows, in place
+    outs = {
+        "one": comm.get("one"),
+        "aa": comm.get("aa"),
+        "bb": comm.get("bb"),
+        "mix": comm.get("mix"),
+    }
+    n_tasks_done, _ = run_rank_sigma(
+        rank,
+        plan,
+        C_stack,
+        outs,
+        comm.fetch_add,
+        block_columns=payload["block_columns"],
+        n_workers=payload["n_workers"],
+        aa_blocks=payload["aa_blocks"],
+        bb_blocks=payload["bb_blocks"],
+        tasks=payload["tasks"],
+        counters=counters,
+        phase_times=phase_times,
+        per_task_seconds=payload.get("straggle_seconds", 0.0),
+    )
 
     comm.quiet()  # all owned-segment stores complete before we report done
     busy = time.perf_counter() - t_start

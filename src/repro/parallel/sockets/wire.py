@@ -1,0 +1,150 @@
+"""Length-prefixed message framing for the sockets backend.
+
+One frame = an 8-byte big-endian unsigned payload length followed by the
+payload, a :mod:`pickle` (highest protocol) of a plain tuple whose first
+element is the message kind.  The framing is deliberately dumb: TCP
+already gives per-connection ordering and integrity, so all the protocol
+needs is message boundaries; NumPy arrays ride through pickle-5
+out-of-band-free (contiguous copies are made by the senders).
+
+:class:`Channel` wraps a connected socket with framed ``send``/``recv``,
+a send lock (the worker's heartbeat thread and its main loop share the
+control channel), and transmit/receive byte counters that feed the
+backend's measured-traffic reporting.
+
+Failure taxonomy: :class:`WireClosed` (peer gone — EOF or reset),
+:class:`WireTimeout` (no frame within the deadline), and plain
+:class:`WireError` for protocol violations (oversized frame, bad
+handshake).  The engine converts all three into ``RuntimeError``
+diagnostics naming the rank.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+import time
+
+__all__ = [
+    "Channel",
+    "WireClosed",
+    "WireError",
+    "WireTimeout",
+    "connect_with_retry",
+]
+
+# a frame bigger than 64 GiB is a corrupt header, not a message
+_MAX_FRAME = 1 << 36
+_HEADER = struct.Struct(">Q")
+
+
+class WireError(RuntimeError):
+    """Protocol-level failure on a sockets-backend channel."""
+
+
+class WireClosed(WireError):
+    """The peer closed the connection (EOF/reset)."""
+
+
+class WireTimeout(WireError):
+    """No complete frame arrived within the deadline."""
+
+
+class Channel:
+    """A framed, counted, thread-safe-send wrapper over one TCP socket."""
+
+    def __init__(self, sock: socket.socket):
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.sock = sock
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+        self._send_lock = threading.Lock()
+
+    def fileno(self) -> int:
+        """For select(): readiness of the underlying socket."""
+        return self.sock.fileno()
+
+    def send(self, obj) -> int:
+        """Send one framed message; returns bytes written."""
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        frame = _HEADER.pack(len(payload)) + payload
+        try:
+            with self._send_lock:
+                self.sock.sendall(frame)
+        except (OSError, ValueError) as exc:
+            raise WireClosed(f"send failed: {exc}") from None
+        self.tx_bytes += len(frame)
+        return len(frame)
+
+    def _recv_exact(self, n: int) -> bytes:
+        buf = bytearray()
+        while len(buf) < n:
+            try:
+                chunk = self.sock.recv(min(n - len(buf), 1 << 20))
+            except socket.timeout:
+                raise WireTimeout(
+                    f"no complete frame within the socket timeout "
+                    f"({len(buf)}/{n} bytes received)"
+                ) from None
+            except OSError as exc:
+                raise WireClosed(f"recv failed: {exc}") from None
+            if not chunk:
+                raise WireClosed("connection closed by peer")
+            buf += chunk
+        return bytes(buf)
+
+    def recv(self, timeout: float | None = None):
+        """Receive one framed message; ``timeout`` caps the whole frame."""
+        self.sock.settimeout(timeout)
+        header = self._recv_exact(_HEADER.size)
+        (length,) = _HEADER.unpack(header)
+        if length > _MAX_FRAME:
+            raise WireError(f"frame length {length} exceeds protocol maximum")
+        payload = self._recv_exact(length)
+        self.rx_bytes += _HEADER.size + length
+        return pickle.loads(payload)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+def connect_with_retry(
+    host: str,
+    port: int,
+    *,
+    attempts: int = 40,
+    delay: float = 0.05,
+    timeout: float | None = 10.0,
+) -> Channel:
+    """Dial the coordinator with bounded retry and backoff.
+
+    Spawned workers race the coordinator's listener coming up (and remote
+    workers race operator typing); retry covers both, bounded so a wrong
+    address fails with a clean diagnostic instead of hanging.
+    """
+    last: Exception | None = None
+    pause = delay
+    for _ in range(max(1, attempts)):
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+            return Channel(sock)
+        except OSError as exc:
+            last = exc
+            time.sleep(pause)
+            pause = min(pause * 1.5, 1.0)
+    raise WireError(
+        f"could not connect to coordinator at {host}:{port} after "
+        f"{attempts} attempts: {last}"
+    )

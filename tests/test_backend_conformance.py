@@ -1,0 +1,33 @@
+"""Run the backend-conformance suite against every real-process substrate.
+
+The suite itself lives in :mod:`tests.backend_conformance`; this file
+binds it to the registered substrates (``shm``, ``sockets``) and wraps
+every test in the leak check, so a backend that passes here is known to
+honor the five-verb semantics, the decomposition's ownership invariants,
+the bitwise sigma contract, and clean resource teardown.
+"""
+
+import pytest
+
+from tests.backend_conformance import (
+    ADAPTERS,
+    BackendConformanceSuite,
+    assert_no_new_leaks,
+    leak_snapshot,
+)
+
+
+@pytest.fixture(params=sorted(ADAPTERS), ids=sorted(ADAPTERS))
+def adapter(request):
+    return ADAPTERS[request.param]()
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_backend_resources():
+    before = leak_snapshot()
+    yield
+    assert_no_new_leaks(before)
+
+
+class TestBackendConformance(BackendConformanceSuite):
+    """shm and sockets, one contract."""

@@ -6,9 +6,9 @@ MOC, the HamiltonianOperator composition, and ParallelSigma on both
 execution backends — and cross-checked against one reference:
 
 * exactness: each evaluator reproduces the dense-Hamiltonian matvec;
-* bitwise lanes: the DGEMM-family evaluators (kernel, operator, shm
-  backend) must equal the serial ``sigma_dgemm`` bit for bit, the shm
-  backend additionally for every worker count;
+* bitwise lanes: the DGEMM-family evaluators (kernel, operator, shm and
+  sockets backends) must equal the serial ``sigma_dgemm`` bit for bit,
+  the real-process backends additionally for every worker count;
 * invariants that hold for *any* correct sigma: Hermitian symmetry
   <Y, sigma(X)> == <sigma(Y), X> and the variational bound
   <C, sigma(C)>/<C, C> >= E0.
@@ -65,6 +65,12 @@ EVALUATORS = {
         ),
         "bitwise",
     ),
+    "parallel-sockets": (
+        lambda p: ParallelSigma(
+            p, backend="sockets", n_workers=2, block_columns=BLOCK_COLUMNS
+        ),
+        "bitwise",
+    ),
 }
 
 
@@ -113,19 +119,23 @@ class TestCrossBackend:
             ref = sigma_dgemm(problem, C, block_columns=BLOCK_COLUMNS)
             _assert_matches(name, evaluators[name](C), ref)
 
-    def test_shm_bitwise_for_every_worker_count(self, space):
-        # result must not depend on how many ranks the blocks land on
+    @pytest.mark.parametrize("backend", ["shm", "sockets"])
+    def test_real_backends_bitwise_for_every_worker_count(self, space, backend):
+        # result must not depend on the substrate or on how many ranks the
+        # blocks land on
         problem, _ = space
         C = problem.random_vector(4)
         ref = sigma_dgemm(problem, C, block_columns=BLOCK_COLUMNS)
         for n_workers in (1, 2, 3):
             with ParallelSigma(
                 problem,
-                backend="shm",
+                backend=backend,
                 n_workers=n_workers,
                 block_columns=BLOCK_COLUMNS,
             ) as ps:
-                assert np.array_equal(ps(C), ref), f"n_workers={n_workers}"
+                assert np.array_equal(ps(C), ref), (
+                    f"{backend} n_workers={n_workers}"
+                )
 
 
 class TestInvariants:

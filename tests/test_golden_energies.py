@@ -63,3 +63,14 @@ class TestGoldenEnergies:
         stored = FCISolver(molecules[name], "sto-3g", vector_store="dense").run()
         assert stored.energy == default.energy  # exact float equality
         assert abs(stored.energy - GOLDEN[name][0]) < TOL
+
+
+def test_sockets_backend_pins_h2_golden_energy(h2):
+    """The TCP backend reproduces the pinned H2 energy, not just "close"."""
+    serial = FCISolver(h2, "sto-3g").run()
+    sockets = FCISolver(
+        h2, "sto-3g", parallel={"backend": "sockets", "n_workers": 2}
+    ).run()
+    assert sockets.energy == serial.energy  # exact float equality
+    assert abs(sockets.energy - GOLDEN["H2"][0]) < TOL
+    assert sockets.solve.converged

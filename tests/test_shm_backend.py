@@ -10,7 +10,17 @@ from repro.parallel import ParallelSigma, backend_names, make_backend
 from repro.parallel.backend import ShmBackend
 from repro.parallel.shm import ShmComm
 from repro.obs.tracer import ChromeTracer
+from tests.backend_conformance import assert_no_new_leaks, leak_snapshot
 from tests.helpers import make_random_problem
+
+
+@pytest.fixture(scope="module", autouse=True)
+def no_leaked_backend_resources_module():
+    """Module-scoped leak gate: the shm pool is a module fixture, so the
+    /dev/shm segment scan runs after the whole file tears down."""
+    before = leak_snapshot()
+    yield
+    assert_no_new_leaks(before)
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,127 @@
+"""Numba-jitted gather/scatter primitives for the compiled sigma kernel.
+
+The DGEMM sweeps of :class:`~repro.core.kernels.DgemmKernel` spend their
+non-BLAS time in NumPy fancy indexing: the same-spin gather into the packed
+(pairs x NK, m) intermediate, its reshaped segment-sum scatter, and the
+mixed-spin D-fill / E-drain.  The loops below run those steps as compiled
+machine code over the plan's :class:`~repro.core.plans.LinkIndexTables`
+(per-string rectangular views), while the DGEMMs themselves stay the exact
+``np.matmul`` calls of the NumPy kernel.
+
+Bitwise contract: every accumulation below follows
+:func:`~repro.core.kernels._segment_sum` semantics - the first term is
+copied, later terms are added one at a time in ascending entry order - and
+the gathers are pure assignments to unique slots.  Operand-identical DGEMMs
+plus order-identical scatters make the jitted path bitwise-identical to
+``DgemmKernel``, not merely close.
+
+numba is optional.  This module never imports it unconditionally: when it
+is missing, ``HAVE_NUMBA`` is False, the primitives are ``None``, and the
+compiled kernel falls back to the NumPy sweeps (the same code path as
+``DgemmKernel``).  Nothing else in the package may import numba directly.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HAVE_NUMBA",
+    "NUMBA_VERSION",
+    "same_spin_gather",
+    "same_spin_scatter",
+    "mixed_spin_gather",
+    "mixed_spin_scatter",
+]
+
+try:  # pragma: no cover - exercised per-environment, not per-test
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover
+    numba = None
+    HAVE_NUMBA = False
+
+NUMBA_VERSION = getattr(numba, "__version__", None)
+
+if HAVE_NUMBA:  # pragma: no cover - requires the optional numba lane
+    _jit = numba.njit(cache=True, fastmath=False)
+
+    @_jit
+    def same_spin_gather(D, key, sign, C_rows, lo, m):
+        """D[v, key[j, t], c] = sign[j, t] * C_rows[v, j, lo + c].
+
+        ``key`` entries are unique per (j, t) so this is a pure scatter-free
+        assignment; D must be zeroed by the caller (rows no entry addresses
+        feed the DGEMM as zeros, exactly like the NumPy gather).
+        """
+        kvec = C_rows.shape[0]
+        nstr = key.shape[0]
+        kk2 = key.shape[1]
+        for v in range(kvec):
+            for j in range(nstr):
+                for t in range(kk2):
+                    row = key[j, t]
+                    s = sign[j, t]
+                    for c in range(m):
+                        D[v, row, c] = s * C_rows[v, j, lo + c]
+
+    @_jit
+    def same_spin_scatter(out, key, sign, E, lo, m):
+        """out[v, j, lo+c] = sum_t sign[j, t] * E[v, key[j, t], c].
+
+        First term copied, later terms added in ascending t - the exact
+        left-to-right order of ``_segment_sum``, element for element.
+        """
+        kvec = E.shape[0]
+        nstr = key.shape[0]
+        kk2 = key.shape[1]
+        for v in range(kvec):
+            for j in range(nstr):
+                for c in range(m):
+                    acc = sign[j, 0] * E[v, key[j, 0], c]
+                    for t in range(1, kk2):
+                        acc += sign[j, t] * E[v, key[j, t], c]
+                    out[v, j, lo + c] = acc
+
+    @_jit
+    def mixed_spin_gather(D, src, pq, sign, C_stack, lo, m):
+        """D[v, pq[jb, t], jb - lo, a] = sign[jb, t] * C_stack[v, a, src[jb, t]].
+
+        ``jb`` walks the beta column block [lo, lo + m); (jb, pq) pairs are
+        unique, so again a pure assignment into a caller-zeroed D.
+        """
+        kvec = C_stack.shape[0]
+        na = C_stack.shape[1]
+        per = pq.shape[1]
+        for v in range(kvec):
+            for jb in range(lo, lo + m):
+                for t in range(per):
+                    col = pq[jb, t]
+                    s = sign[jb, t]
+                    sb = src[jb, t]
+                    for a in range(na):
+                        D[v, col, jb - lo, a] = s * C_stack[v, a, sb]
+
+    @_jit
+    def mixed_spin_scatter(sigma, src, pq, sign, E, lo, m):
+        """sigma[v, ja, lo+c] += sum_t sign[ja, t] * E[v, pq[ja, t], c, src[ja, t]].
+
+        Same first-copy-then-add order as the NumPy segment sum, and the
+        block total is added to sigma exactly once per element, matching
+        ``sigma[:, :, lo:hi] += _segment_sum(...)``.
+        """
+        kvec = E.shape[0]
+        na = pq.shape[0]
+        per = pq.shape[1]
+        for v in range(kvec):
+            for ja in range(na):
+                for c in range(m):
+                    acc = sign[ja, 0] * E[v, pq[ja, 0], c, src[ja, 0]]
+                    for t in range(1, per):
+                        acc += sign[ja, t] * E[v, pq[ja, t], c, src[ja, t]]
+                    sigma[v, ja, lo + c] += acc
+
+else:
+    same_spin_gather = None
+    same_spin_scatter = None
+    mixed_spin_gather = None
+    mixed_spin_scatter = None

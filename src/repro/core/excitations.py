@@ -15,6 +15,13 @@ Sign conventions: orbitals are ordered ascending in the creation-operator
 product defining a string, |J> = a+_{o_0} a+_{o_1} ... |vac> with
 o_0 < o_1 < ...; the sign of a_q |J> is (-1)^(number of occupied orbitals
 below q).
+
+Tables are built by vectorized NumPy over whole string spaces, pyscf
+``gen_linkstr_index``-style; the sign rules simplify because occupations
+are stored ascending, so removing the b-th occupied orbital always costs
+(-1)^b.  The original per-string Python loops are retained as
+``_loop_*_arrays`` oracles so tests can pin the vectorized builders
+bit-for-bit against first-principles bit twiddling.
 """
 
 from __future__ import annotations
@@ -34,6 +41,220 @@ def _popcount_below(mask: int, orb: int) -> int:
     return bin(mask & ((1 << orb) - 1)).count("1")
 
 
+def _mask_lookup(space: StringSpace):
+    """Return a vectorized mask -> string-index map for ``space``.
+
+    ``space.masks`` is in lexical (rank) order, not ascending mask order, so
+    lookups go through an argsort + searchsorted pair.
+    """
+    order = np.argsort(space.masks, kind="stable")
+    sorted_masks = space.masks[order]
+
+    def lookup(masks: np.ndarray) -> np.ndarray:
+        flat = masks.ravel()
+        pos = np.searchsorted(sorted_masks, flat)
+        return order[pos].reshape(masks.shape)
+
+    return lookup
+
+
+def _empty_single_excitation_arrays():
+    z = np.empty(0, dtype=np.int64)
+    return z, z.copy(), z.copy(), z.copy(), np.empty(0, dtype=np.int8)
+
+
+def _single_excitation_arrays(space: StringSpace):
+    """Vectorized (source, target, p, q, sign) arrays for all E_pq entries.
+
+    Entry order matches the reference loop: source string ascending, then q
+    over the ascending occupation list, then p ascending over the orbitals
+    free in mask\\{q} (which includes p = q).  For each (j, q) there are
+    exactly n - k + 1 candidate p's, so every string contributes the same
+    k * (n - k + 1) rows and the result is a dense reshape, no compaction.
+    """
+    n, k = space.n, space.k
+    nstr = space.size
+    if k == 0:
+        return _empty_single_excitation_arrays()
+    occs = space.occupations[:, :k].astype(np.int64)
+    masks = space.masks
+    occmat = space.occupancy_matrix().astype(np.int64)
+    # exclusive prefix sum: cnt_below[j, p] = #occupied orbitals of j below p
+    cnt_below = np.cumsum(occmat, axis=1) - occmat
+    # ascending free orbitals of each string: exactly n - k zeros per row,
+    # and nonzero() walks row-major so the reshape keeps them sorted
+    free = np.nonzero(occmat == 0)[1].reshape(nstr, n - k).astype(np.int64)
+    # candidate p's per (j, q): sorted(free(mask) | {q}), shape (nstr, k, n-k+1)
+    cand = np.concatenate(
+        [np.broadcast_to(free[:, None, :], (nstr, k, n - k)), occs[:, :, None]],
+        axis=2,
+    )
+    cand = np.sort(cand, axis=2)
+    per = n - k + 1
+    # total sign parity: a_q on the b-th ascending occupied orbital costs
+    # (-1)^b, and a+_p on mask\{q} costs (-1)^(cnt_below(mask, p) - [q < p])
+    cb = np.take_along_axis(cnt_below, cand.reshape(nstr, k * per), axis=1)
+    exponent = (
+        cb.reshape(nstr, k, per)
+        - (occs[:, :, None] < cand)
+        + (np.arange(k, dtype=np.int64) & 1)[None, :, None]
+    )
+    sign = np.where(exponent & 1, -1, 1).astype(np.int8)
+    m1 = masks[:, None] & ~(np.int64(1) << occs)
+    m2 = m1[:, :, None] | (np.int64(1) << cand)
+    target = _mask_lookup(space)(m2)
+    source = np.broadcast_to(np.arange(nstr, dtype=np.int64)[:, None, None], m2.shape)
+    qcol = np.broadcast_to(occs[:, :, None], m2.shape)
+    return (
+        np.ascontiguousarray(source).ravel(),
+        target.ravel(),
+        cand.ravel(),
+        np.ascontiguousarray(qcol).ravel(),
+        sign.ravel(),
+    )
+
+
+def _loop_single_excitation_arrays(space: StringSpace):
+    """Reference per-string Python loop builder (oracle for tests)."""
+    n, k = space.n, space.k
+    nstr = space.size
+    cap = nstr * (k * (n - k) + k) if k else 0
+    source = np.empty(cap, dtype=np.int64)
+    target = np.empty(cap, dtype=np.int64)
+    pp = np.empty(cap, dtype=np.int64)
+    qq = np.empty(cap, dtype=np.int64)
+    sg = np.empty(cap, dtype=np.int8)
+    idx = 0
+    index = space._index
+    masks = space.masks
+    occs = space.occupations
+    for j in range(nstr):
+        mask = int(masks[j])
+        occ = occs[j]
+        for q in occ:
+            q = int(q)
+            m1 = mask & ~(1 << q)
+            s1 = -1 if _popcount_below(mask, q) & 1 else 1
+            for p in range(n):
+                if m1 & (1 << p):
+                    continue
+                m2 = m1 | (1 << p)
+                s2 = -1 if _popcount_below(m1, p) & 1 else 1
+                source[idx] = j
+                target[idx] = index[m2]
+                pp[idx] = p
+                qq[idx] = q
+                sg[idx] = s1 * s2
+                idx += 1
+    return source[:idx], target[:idx], pp[:idx], qq[:idx], sg[:idx]
+
+
+def _single_annihilation_arrays(space: StringSpace, reduced_space: StringSpace):
+    """Vectorized (source, target, orb, sign) arrays for all a_p entries."""
+    nstr, k = space.size, space.k
+    occs = space.occupations[:, :k].astype(np.int64)
+    m2 = space.masks[:, None] & ~(np.int64(1) << occs)
+    target = _mask_lookup(reduced_space)(m2)
+    source = np.broadcast_to(np.arange(nstr, dtype=np.int64)[:, None], m2.shape)
+    sgn_b = np.where(np.arange(k, dtype=np.int64) & 1, -1, 1).astype(np.int8)
+    sign = np.broadcast_to(sgn_b[None, :], m2.shape)
+    return (
+        np.ascontiguousarray(source).ravel(),
+        target.ravel(),
+        occs.ravel(),
+        np.ascontiguousarray(sign).ravel(),
+    )
+
+
+def _loop_single_annihilation_arrays(space: StringSpace, reduced_space: StringSpace):
+    """Reference per-string Python loop builder (oracle for tests)."""
+    nstr, k = space.size, space.k
+    source = np.empty(nstr * k, dtype=np.int64)
+    target = np.empty(nstr * k, dtype=np.int64)
+    orb = np.empty(nstr * k, dtype=np.int64)
+    sg = np.empty(nstr * k, dtype=np.int8)
+    idx = 0
+    rindex = reduced_space._index
+    for j in range(nstr):
+        mask = int(space.masks[j])
+        for p in space.occupations[j]:
+            p = int(p)
+            source[idx] = j
+            target[idx] = rindex[mask & ~(1 << p)]
+            orb[idx] = p
+            sg[idx] = -1 if _popcount_below(mask, p) & 1 else 1
+            idx += 1
+    return source[:idx], target[:idx], orb[:idx], sg[:idx]
+
+
+def _double_annihilation_arrays(space: StringSpace, reduced_space: StringSpace):
+    """Vectorized (source, target, q, s, sign, pair) arrays for a_s a_q, q > s.
+
+    With ascending occupations the sign is position-only: removing the
+    bq-th orbital costs (-1)^bq, and removing the bs-th (bs < bq, so the
+    first removal happened entirely above it) costs (-1)^bs, independent of
+    which string the pair came from.
+    """
+    nstr, k = space.size, space.k
+    # (bq, bs) with bs < bq, bq-major ascending - same order as the loop
+    bqs, bss = np.tril_indices(k, -1)
+    bqs = bqs.astype(np.int64)
+    bss = bss.astype(np.int64)
+    occs = space.occupations[:, :k].astype(np.int64)
+    q = occs[:, bqs]
+    s = occs[:, bss]
+    m2 = space.masks[:, None] & ~(np.int64(1) << q) & ~(np.int64(1) << s)
+    target = _mask_lookup(reduced_space)(m2)
+    source = np.broadcast_to(np.arange(nstr, dtype=np.int64)[:, None], m2.shape)
+    sgn_row = np.where((bqs + bss) & 1, -1, 1).astype(np.int8)
+    sign = np.broadcast_to(sgn_row[None, :], m2.shape)
+    pair = q * (q - 1) // 2 + s
+    return (
+        np.ascontiguousarray(source).ravel(),
+        target.ravel(),
+        q.ravel(),
+        s.ravel(),
+        np.ascontiguousarray(sign).ravel(),
+        pair.ravel(),
+    )
+
+
+def _loop_double_annihilation_arrays(space: StringSpace, reduced_space: StringSpace):
+    """Reference per-string Python loop builder (oracle for tests)."""
+    nstr, k = space.size, space.k
+    npairs_per_string = k * (k - 1) // 2
+    cap = nstr * npairs_per_string
+    source = np.empty(cap, dtype=np.int64)
+    target = np.empty(cap, dtype=np.int64)
+    qq = np.empty(cap, dtype=np.int64)
+    ss = np.empty(cap, dtype=np.int64)
+    sg = np.empty(cap, dtype=np.int8)
+    pair = np.empty(cap, dtype=np.int64)
+    idx = 0
+    rindex = reduced_space._index
+    masks = space.masks
+    occs = space.occupations
+    for j in range(nstr):
+        mask = int(masks[j])
+        occ = occs[j]
+        for bq in range(k):
+            q = int(occ[bq])
+            s1 = -1 if _popcount_below(mask, q) & 1 else 1
+            m1 = mask & ~(1 << q)
+            for bs in range(bq):
+                s = int(occ[bs])  # s < q
+                s2 = -1 if _popcount_below(m1, s) & 1 else 1
+                m2 = m1 & ~(1 << s)
+                source[idx] = j
+                target[idx] = rindex[m2]
+                qq[idx] = q
+                ss[idx] = s
+                sg[idx] = s1 * s2
+                pair[idx] = q * (q - 1) // 2 + s
+                idx += 1
+    return source[:idx], target[:idx], qq[:idx], ss[:idx], sg[:idx], pair[:idx]
+
+
 class SingleExcitationTable:
     """All (J, I, p, q, sign) with a+_p a_q |J> = sign |I>.
 
@@ -44,42 +265,14 @@ class SingleExcitationTable:
 
     def __init__(self, space: StringSpace):
         self.space = space
-        n, k = space.n, space.k
-        nstr = space.size
-        cap = nstr * (k * (n - k) + k) if k else 0
-        source = np.empty(cap, dtype=np.int64)
-        target = np.empty(cap, dtype=np.int64)
-        pp = np.empty(cap, dtype=np.int64)
-        qq = np.empty(cap, dtype=np.int64)
-        sg = np.empty(cap, dtype=np.int8)
-        idx = 0
-        index = space._index
-        masks = space.masks
-        occs = space.occupations
-        for j in range(nstr):
-            mask = int(masks[j])
-            occ = occs[j]
-            for q in occ:
-                q = int(q)
-                m1 = mask & ~(1 << q)
-                s1 = -1 if _popcount_below(mask, q) & 1 else 1
-                for p in range(n):
-                    if m1 & (1 << p):
-                        continue
-                    m2 = m1 | (1 << p)
-                    s2 = -1 if _popcount_below(m1, p) & 1 else 1
-                    source[idx] = j
-                    target[idx] = index[m2]
-                    pp[idx] = p
-                    qq[idx] = q
-                    sg[idx] = s1 * s2
-                    idx += 1
-        self.source = source[:idx]
-        self.target = target[:idx]
-        self.p = pp[:idx]
-        self.q = qq[:idx]
-        self.sign = sg[:idx]
-        self.n_entries = idx
+        n = space.n
+        source, target, pp, qq, sg = _single_excitation_arrays(space)
+        self.source = source
+        self.target = target
+        self.p = pp
+        self.q = qq
+        self.sign = sg
+        self.n_entries = int(source.size)
         # group rows by (p, q)
         key = self.p * n + self.q
         order = np.argsort(key, kind="stable")
@@ -91,6 +284,10 @@ class SingleExcitationTable:
     def rows_for_pq(self, p: int, q: int) -> np.ndarray:
         """Row indices (into the flat arrays) of all entries with this (p, q)."""
         n = self.space.n
+        if not 0 <= p < n:
+            raise ValueError(f"orbital p={p} out of range: expected 0 <= p < {n}")
+        if not 0 <= q < n:
+            raise ValueError(f"orbital q={q} out of range: expected 0 <= q < {n}")
         key = p * n + q
         lo, hi = self._pq_start[key], self._pq_start[key + 1]
         return self._order[lo:hi]
@@ -120,33 +317,24 @@ class SingleAnnihilationTable:
         self.reduced_space = reduced_space or StringSpace(space.n, space.k - 1)
         if self.reduced_space.n != space.n or self.reduced_space.k != space.k - 1:
             raise ValueError("reduced space does not match")
-        nstr, k, n = space.size, space.k, space.n
-        source = np.empty(nstr * k, dtype=np.int64)
-        target = np.empty(nstr * k, dtype=np.int64)
-        orb = np.empty(nstr * k, dtype=np.int64)
-        sg = np.empty(nstr * k, dtype=np.int8)
-        idx = 0
-        rindex = self.reduced_space._index
-        for j in range(nstr):
-            mask = int(space.masks[j])
-            for p in space.occupations[j]:
-                p = int(p)
-                source[idx] = j
-                target[idx] = rindex[mask & ~(1 << p)]
-                orb[idx] = p
-                sg[idx] = -1 if _popcount_below(mask, p) & 1 else 1
-                idx += 1
+        n = space.n
+        source, target, orb, sg = _single_annihilation_arrays(
+            space, self.reduced_space
+        )
         self.source = source
         self.target = target
         self.orb = orb
         self.sign = sg
-        self.n_entries = idx
+        self.n_entries = int(source.size)
         order = np.argsort(orb, kind="stable")
         self._order = order
         bounds = np.searchsorted(orb[order], np.arange(n + 1))
         self._orb_start = bounds
 
     def rows_for_orbital(self, p: int) -> np.ndarray:
+        n = self.space.n
+        if not 0 <= p < n:
+            raise ValueError(f"orbital p={p} out of range: expected 0 <= p < {n}")
         lo, hi = self._orb_start[p], self._orb_start[p + 1]
         return self._order[lo:hi]
 
@@ -167,45 +355,16 @@ class DoubleAnnihilationTable:
         self.reduced_space = reduced_space or StringSpace(space.n, space.k - 2)
         if self.reduced_space.n != space.n or self.reduced_space.k != space.k - 2:
             raise ValueError("reduced space does not match")
-        nstr = space.size
-        k = space.k
-        npairs_per_string = k * (k - 1) // 2
-        cap = nstr * npairs_per_string
-        source = np.empty(cap, dtype=np.int64)
-        target = np.empty(cap, dtype=np.int64)
-        qq = np.empty(cap, dtype=np.int64)
-        ss = np.empty(cap, dtype=np.int64)
-        sg = np.empty(cap, dtype=np.int8)
-        pair = np.empty(cap, dtype=np.int64)
-        idx = 0
-        rindex = self.reduced_space._index
-        masks = space.masks
-        occs = space.occupations
-        for j in range(nstr):
-            mask = int(masks[j])
-            occ = occs[j]
-            for bq in range(k):
-                q = int(occ[bq])
-                s1 = -1 if _popcount_below(mask, q) & 1 else 1
-                m1 = mask & ~(1 << q)
-                for bs in range(bq):
-                    s = int(occ[bs])  # s < q
-                    s2 = -1 if _popcount_below(m1, s) & 1 else 1
-                    m2 = m1 & ~(1 << s)
-                    source[idx] = j
-                    target[idx] = rindex[m2]
-                    qq[idx] = q
-                    ss[idx] = s
-                    sg[idx] = s1 * s2
-                    pair[idx] = q * (q - 1) // 2 + s
-                    idx += 1
-        self.source = source[:idx]
-        self.target = target[:idx]
-        self.q = qq[:idx]
-        self.s = ss[:idx]
-        self.sign = sg[:idx]
-        self.pair = pair[:idx]
-        self.n_entries = idx
+        source, target, qq, ss, sg, pair = _double_annihilation_arrays(
+            space, self.reduced_space
+        )
+        self.source = source
+        self.target = target
+        self.q = qq
+        self.s = ss
+        self.sign = sg
+        self.pair = pair
+        self.n_entries = int(source.size)
 
     @property
     def n_pairs(self) -> int:

@@ -35,13 +35,16 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from ..obs.accounting import account_sigma_dgemm, account_sigma_moc
-from .plans import SameSpinPlan, SigmaPlan
+from . import compiled as _compiled
+from .compiled import HAVE_NUMBA
+from .plans import SameSpinLink, SameSpinPlan, SigmaPlan
 
 __all__ = [
     "SigmaCounters",
     "MOCCounters",
     "SigmaKernel",
     "DgemmKernel",
+    "CompiledKernel",
     "MocKernel",
     "register_kernel",
     "kernel_names",
@@ -49,7 +52,12 @@ __all__ = [
     "same_spin_sigma",
     "same_spin_sigma_stack",
     "mixed_spin_sigma_stack",
+    "compiled_same_spin_sigma",
+    "compiled_same_spin_sigma_stack",
+    "compiled_mixed_spin_sigma_stack",
+    "sigma_sweeps",
     "column_blocks",
+    "HAVE_NUMBA",
 ]
 
 
@@ -188,10 +196,19 @@ def same_spin_sigma(
     src = splan.source
     M = C.shape[1]
     out = np.zeros_like(C)
+    # scratch hoisted out of the sweep: reallocated only when the block
+    # width changes (at most once, for a ragged final block) so a full
+    # sweep costs O(1) allocations instead of one per block; refilling
+    # with zeros keeps the gathered operands - and the result - bitwise
+    # identical to a fresh buffer
+    D = None
     for lo in range(0, M, block_columns):
         hi = min(lo + block_columns, M)
         m = hi - lo
-        D = np.zeros((npair * NK, m))
+        if D is None or D.shape[1] != m:
+            D = np.zeros((npair * NK, m))
+        else:
+            D[...] = 0.0
         D[key] = sgn[:, None] * C[src, lo:hi]
         E = (W @ D.reshape(npair, NK * m)).reshape(npair * NK, m)
         vals = sgn[:, None] * E[key]
@@ -254,9 +271,15 @@ def same_spin_sigma_stack(
         out = np.zeros_like(C_rows)
     if col_blocks is None:
         col_blocks = column_blocks(M, block_columns)
+    # per-sweep scratch, reallocated only when the block width changes
+    # (see same_spin_sigma); zero-refill keeps results bitwise identical
+    D = None
     for lo, hi in col_blocks:
         m = hi - lo
-        D = np.zeros((k, npair * NK, m))
+        if D is None or D.shape[2] != m:
+            D = np.zeros((k, npair * NK, m))
+        else:
+            D[...] = 0.0
         D[:, key] = sgn[None, :, None] * C_rows[:, src, lo:hi]
         E = np.matmul(W, D.reshape(k, npair, NK * m)).reshape(k, npair * NK, m)
         vals = sgn[None, :, None] * E[:, key]
@@ -322,6 +345,148 @@ def mixed_spin_sigma_stack(
     return sigma
 
 
+# -- compiled (link-index) kernel pieces --------------------------------------
+
+
+def _same_link(splan: SameSpinPlan) -> SameSpinLink:
+    """The plan's cached per-string link view (reshapes, built once)."""
+    link = getattr(splan, "_link", None)
+    if link is None:
+        link = SameSpinLink.from_plan(splan)
+        splan._link = link
+    return link
+
+
+def compiled_same_spin_sigma_stack(
+    splan: SameSpinPlan,
+    W: np.ndarray,
+    C_rows: np.ndarray,
+    block_columns: int,
+    counters: SigmaCounters | None,
+    *,
+    col_blocks: list[tuple[int, int]] | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """:func:`same_spin_sigma_stack` with jitted gather/scatter loops.
+
+    The DGEMM is the same ``np.matmul`` over the same zero-padded D, and
+    the jitted scatter accumulates in ``_segment_sum``'s left-to-right
+    order, so the result is bitwise-identical to the NumPy sweep whether or
+    not numba is importable; without numba this *is* the NumPy sweep.
+    """
+    if not HAVE_NUMBA:
+        return same_spin_sigma_stack(
+            splan, W, C_rows, block_columns, counters,
+            col_blocks=col_blocks, out=out,
+        )
+    NK = splan.n_reduced
+    npair = splan.n_pairs
+    link = _same_link(splan)
+    k, _, M = C_rows.shape
+    if out is None:
+        out = np.zeros_like(C_rows)
+    if col_blocks is None:
+        col_blocks = column_blocks(M, block_columns)
+    D = None
+    for lo, hi in col_blocks:
+        m = hi - lo
+        if D is None or D.shape[2] != m:
+            D = np.zeros((k, npair * NK, m))
+        else:
+            D[...] = 0.0
+        _compiled.same_spin_gather(D, link.key, link.sign, C_rows, lo, m)
+        E = np.matmul(W, D.reshape(k, npair, NK * m)).reshape(k, npair * NK, m)
+        _compiled.same_spin_scatter(out, link.key, link.sign, E, lo, m)
+        if counters is not None:
+            counters.dgemm_flops += 2 * npair * npair * NK * m * k
+            counters.dgemm_calls += 1
+            counters.gather_elements += splan.n_entries * m * k
+            counters.scatter_elements += splan.n_entries * m * k
+    return out
+
+
+def compiled_same_spin_sigma(
+    splan: SameSpinPlan,
+    W: np.ndarray,
+    C: np.ndarray,
+    block_columns: int,
+    counters: SigmaCounters | None,
+) -> np.ndarray:
+    """:func:`same_spin_sigma` with jitted gather/scatter loops."""
+    if not HAVE_NUMBA:
+        return same_spin_sigma(splan, W, C, block_columns, counters)
+    return compiled_same_spin_sigma_stack(
+        splan, W, np.ascontiguousarray(C)[None], block_columns, counters
+    )[0]
+
+
+def compiled_mixed_spin_sigma_stack(
+    plan: SigmaPlan,
+    C_stack: np.ndarray,
+    block_columns: int,
+    counters: SigmaCounters | None,
+    *,
+    col_blocks: list[tuple[int, int]] | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """:func:`mixed_spin_sigma_stack` with jitted D-fill and E-drain loops.
+
+    Walks the plan's cached :class:`~repro.core.plans.LinkIndexTables`
+    (per-string views of the target-sorted halves); same bitwise contract
+    as :func:`compiled_same_spin_sigma_stack`.
+    """
+    if not HAVE_NUMBA:
+        return mixed_spin_sigma_stack(
+            plan, C_stack, block_columns, counters,
+            col_blocks=col_blocks, out=out,
+        )
+    n = plan.n
+    na, nb = plan.shape
+    k = C_stack.shape[0]
+    links = plan.link_tables
+    gb, sa = links.gather_b, links.scatter_a
+    per_b, per_a = gb.pq.shape[1], sa.pq.shape[1]
+    G = plan.g_matrix
+    sigma = np.zeros_like(C_stack) if out is None else out
+    if col_blocks is None:
+        col_blocks = column_blocks(nb, block_columns)
+    D = None
+    for lo, hi in col_blocks:
+        m = hi - lo
+        if D is None or D.shape[2] != m:
+            D = np.zeros((k, n * n, m, na))
+        else:
+            D[...] = 0.0
+        if per_b:
+            _compiled.mixed_spin_gather(D, gb.source, gb.pq, gb.sign, C_stack, lo, m)
+        E = np.matmul(G, D.reshape(k, n * n, m * na)).reshape(k, n * n, m, na)
+        if per_a:
+            _compiled.mixed_spin_scatter(sigma, sa.source, sa.pq, sa.sign, E, lo, m)
+        if counters is not None:
+            counters.dgemm_flops += 2 * (n * n) * (n * n) * m * na * k
+            counters.dgemm_calls += 1
+            counters.gather_elements += m * per_b * na * k
+            counters.scatter_elements += plan.scatter_a.n_entries * m * k
+    return sigma
+
+
+def sigma_sweeps(kernel: str):
+    """(same_spin_stack, mixed_spin_stack) sweep pair for a kernel name.
+
+    How :mod:`repro.parallel.rankwork` dispatches per-rank work: the
+    ``"compiled"`` sweeps run operand-identical DGEMMs with order-identical
+    scatters, so any mix of compiled and NumPy ranks stays bitwise-equal to
+    the serial kernel.
+    """
+    if kernel == "compiled":
+        return compiled_same_spin_sigma_stack, compiled_mixed_spin_sigma_stack
+    if kernel == "dgemm":
+        return same_spin_sigma_stack, mixed_spin_sigma_stack
+    raise ValueError(
+        f"no sigma sweeps for kernel {kernel!r}; expected 'dgemm' or 'compiled'"
+    )
+
+
 def _check_stack(C_stack: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
     C_stack = np.ascontiguousarray(C_stack, dtype=np.float64)
     if C_stack.ndim != 3 or C_stack.shape[1:] != shape:
@@ -350,6 +515,10 @@ class DgemmKernel:
     ``block_columns`` defaults to the plan's memory-budget heuristic
     (:meth:`SigmaPlan.default_block_columns`).
     """
+
+    # sweep hooks: subclasses swap in operand-identical compiled variants
+    _same_stack = staticmethod(same_spin_sigma_stack)
+    _mixed_stack = staticmethod(mixed_spin_sigma_stack)
 
     def __init__(self, plan: SigmaPlan, *, block_columns: int | None = None):
         self.plan = plan
@@ -387,15 +556,42 @@ class DgemmKernel:
             plan.Tb @ _beta_layout(C_stack)
         ).reshape(nb, k, na).transpose(1, 2, 0)
         if plan.same_a is not None:
-            sigma += same_spin_sigma_stack(
+            sigma += self._same_stack(
                 plan.same_a, plan.w_matrix, C_stack, bc, counters
             )
         if plan.same_b is not None:
-            sigma += same_spin_sigma_stack(
+            sigma += self._same_stack(
                 plan.same_b, plan.w_matrix, rows_stack, bc, counters
             ).transpose(0, 2, 1)
-        sigma += mixed_spin_sigma_stack(plan, C_stack, bc, counters)
+        sigma += self._mixed_stack(plan, C_stack, bc, counters)
         return sigma
+
+
+@register_kernel("compiled")
+class CompiledKernel(DgemmKernel):
+    """Link-index sigma: DgemmKernel's DGEMMs with compiled gather/scatter.
+
+    When numba is importable the gather/scatter loops run as jitted machine
+    code over the plan's cached :class:`~repro.core.plans.LinkIndexTables`;
+    the DGEMMs are the same ``np.matmul`` calls at the same
+    ``column_blocks``, and the jitted scatters accumulate in
+    ``_segment_sum``'s left-to-right order, so sigma is bitwise-identical
+    to :class:`DgemmKernel` either way.  Without numba the sweeps fall back
+    to the NumPy implementations - literally the DgemmKernel code path -
+    so the kernel is always safe to select (``jitted`` reports which mode
+    is active).
+    """
+
+    jitted = HAVE_NUMBA
+
+    _same_stack = staticmethod(compiled_same_spin_sigma_stack)
+    _mixed_stack = staticmethod(compiled_mixed_spin_sigma_stack)
+
+    def __init__(self, plan: SigmaPlan, *, block_columns: int | None = None):
+        super().__init__(plan, block_columns=block_columns)
+        # build (and cache on the plan) the per-string link views up front
+        # so first-iteration timing reflects the sweep, not table setup
+        self.links = plan.link_tables
 
 
 # -- MOC kernel pieces --------------------------------------------------------

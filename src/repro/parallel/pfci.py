@@ -58,7 +58,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.kernels import SigmaCounters, same_spin_sigma
+from ..core.kernels import (
+    SigmaCounters,
+    compiled_same_spin_sigma,
+    same_spin_sigma,
+)
 from ..core.plans import SigmaPlan
 from ..core.problem import CIProblem
 from ..core.vectors import make_store, publish_store_metrics, store_kinds
@@ -117,6 +121,11 @@ class ParallelSigma:
     default) sizes the column blocks with the plan's memory-budget
     heuristic, :meth:`SigmaPlan.default_block_columns`.
 
+    ``kernel`` selects the sigma sweep implementation each rank runs
+    (``"dgemm"`` or ``"compiled"``); the compiled sweeps issue
+    operand-identical DGEMMs with order-identical scatters, so the
+    backend bitwise contracts are unchanged by the choice.
+
     ``backend`` selects the execution substrate: ``"simulated"`` (the
     discrete-event X1, default), ``"shm"`` (real OS processes over shared
     memory), ``"sockets"`` (real OS processes behind a TCP coordinator —
@@ -146,6 +155,7 @@ class ParallelSigma:
         config: X1Config | None = None,
         *,
         backend: str | Backend = "simulated",
+        kernel: str = "dgemm",
         n_workers: int | None = None,
         blas_threads: int = 1,
         shm_timeout: float = 300.0,
@@ -161,6 +171,15 @@ class ParallelSigma:
         resilient: bool | None = None,
     ):
         self.problem = problem
+        if kernel not in ("dgemm", "compiled"):
+            raise ValueError(
+                "parallel execution distributes the DGEMM sigma decomposition; "
+                f"kernel must be 'dgemm' or 'compiled', got {kernel!r}"
+            )
+        self.kernel_name = kernel
+        self._same_spin = (
+            compiled_same_spin_sigma if kernel == "compiled" else same_spin_sigma
+        )
         # every rank replicates the problem's one precompiled plan
         # (paper section 3: replicated integrals + coupling tables per rank)
         self.plan = SigmaPlan.for_problem(problem)
@@ -302,7 +321,7 @@ class ParallelSigma:
         sig_local = np.zeros((m, nb))
         sig_local += np.asarray(self.Tb @ Cblk.T).T
         if plan.same_b is not None:
-            sig_local += same_spin_sigma(
+            sig_local += self._same_spin(
                 plan.same_b,
                 plan.w_matrix,
                 np.ascontiguousarray(Cblk.T),
@@ -328,7 +347,7 @@ class ParallelSigma:
         npair = plan.w_matrix.shape[0]
         X = np.asarray(self.Ta @ colC)
         if plan.same_a is not None:
-            X += same_spin_sigma(
+            X += self._same_spin(
                 plan.same_a, plan.w_matrix, colC, self.block_columns, None
             )
         nka = plan.same_a.n_reduced if plan.same_a is not None else 0

@@ -112,7 +112,9 @@ class JobSpec:
     interchangeable, but a cdfci ``capacity`` changes the convergence path,
     so the safe canonical rule is "different storage config, different job
     key".  ``label`` is a display name only and is excluded from the
-    digests.
+    digests.  ``kernel`` is likewise answer-neutral: it chooses between the
+    bitwise-identical "dgemm"/"compiled" sigma sweeps, so two submissions
+    differing only in ``kernel`` share one job key (and one cached result).
     """
 
     atoms: tuple
@@ -134,7 +136,18 @@ class JobSpec:
     residual_tol: float = 1e-5
     max_iterations: int = 60
     parallel: tuple | None = None
+    kernel: str | None = None
     label: str = ""
+
+    def __post_init__(self):
+        # only the bitwise-identical sweep pair may ride the answer-neutral
+        # field; anything else (e.g. "moc") must go through `algorithm`,
+        # which is part of the job key
+        if self.kernel not in (None, "dgemm", "compiled"):
+            raise ValueError(
+                "kernel must be None, 'dgemm', or 'compiled' (bitwise-"
+                f"identical sweeps only); got {self.kernel!r}"
+            )
 
     # -- construction --------------------------------------------------------
     @classmethod
@@ -205,6 +218,7 @@ class JobSpec:
             residual_tol=self.residual_tol,
             max_iterations=self.max_iterations,
             parallel=dict(self.parallel) if self.parallel is not None else None,
+            kernel=self.kernel,
         )
 
     # -- content addressing --------------------------------------------------
@@ -212,6 +226,8 @@ class JobSpec:
         """Every answer-affecting field, in canonical JSON-ready form."""
         d = self.to_dict()
         d.pop("label", None)
+        # kernel selects between bitwise-identical sweeps: not answer-affecting
+        d.pop("kernel", None)
         return d
 
     @property

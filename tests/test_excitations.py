@@ -136,3 +136,168 @@ class TestSingleAnnihilationTable:
     def test_requires_one_electron(self):
         with pytest.raises(ValueError):
             SingleAnnihilationTable(StringSpace(4, 0))
+
+
+class TestTableTruncation:
+    """Every table's stored arrays are truncated to exactly n_entries."""
+
+    @pytest.mark.parametrize("n,k", [(4, 2), (5, 3), (6, 1)])
+    def test_arrays_match_n_entries(self, n, k):
+        space = StringSpace(n, k)
+        single = SingleExcitationTable(space)
+        for name in ("source", "target", "p", "q", "sign"):
+            assert len(getattr(single, name)) == single.n_entries
+        ann = SingleAnnihilationTable(space)
+        for name in ("source", "target", "orb", "sign"):
+            assert len(getattr(ann, name)) == ann.n_entries
+        if k >= 2:
+            dbl = DoubleAnnihilationTable(space)
+            for name in ("source", "target", "q", "s", "sign", "pair"):
+                assert len(getattr(dbl, name)) == dbl.n_entries
+
+
+class TestOrbitalBoundsValidation:
+    """Out-of-range orbital indices raise ValueError naming the bound."""
+
+    def test_rows_for_pq_rejects_out_of_range(self):
+        table = SingleExcitationTable(StringSpace(5, 2))
+        with pytest.raises(ValueError, match="p=5.*0 <= p < 5"):
+            table.rows_for_pq(5, 0)
+        with pytest.raises(ValueError, match="q=7.*0 <= q < 5"):
+            table.rows_for_pq(0, 7)
+        with pytest.raises(ValueError, match="p=-1"):
+            table.rows_for_pq(-1, 0)
+        with pytest.raises(ValueError, match="q=-2"):
+            table.rows_for_pq(0, -2)
+
+    def test_rows_for_orbital_rejects_out_of_range(self):
+        table = SingleAnnihilationTable(StringSpace(4, 2))
+        with pytest.raises(ValueError, match="p=4.*0 <= p < 4"):
+            table.rows_for_orbital(4)
+        with pytest.raises(ValueError, match="p=-1"):
+            table.rows_for_orbital(-1)
+
+    def test_in_range_still_works(self):
+        table = SingleExcitationTable(StringSpace(4, 2))
+        assert table.rows_for_pq(0, 0).size > 0
+        ann = SingleAnnihilationTable(StringSpace(4, 2))
+        assert ann.rows_for_orbital(3).size > 0
+
+
+class TestVectorizedBuilders:
+    """The vectorized table builders equal the Python-loop oracles bit for bit,
+    including k=0/k=1 edge spaces and p-shell-sized spaces."""
+
+    SPACES = [(3, 0), (3, 1), (3, 2), (3, 3), (4, 2), (5, 3), (6, 1), (6, 5), (7, 4)]
+
+    @pytest.mark.parametrize("n,k", SPACES)
+    def test_single_excitation_bit_for_bit(self, n, k):
+        from repro.core.excitations import (
+            _loop_single_excitation_arrays,
+            _single_excitation_arrays,
+        )
+
+        space = StringSpace(n, k)
+        vec = _single_excitation_arrays(space)
+        loop = _loop_single_excitation_arrays(space)
+        for a, b in zip(vec, loop):
+            assert a.dtype == b.dtype
+            assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("n,k", [(n, k) for n, k in SPACES if k >= 1])
+    def test_single_annihilation_bit_for_bit(self, n, k):
+        from repro.core.excitations import (
+            _loop_single_annihilation_arrays,
+            _single_annihilation_arrays,
+        )
+
+        space = StringSpace(n, k)
+        red = StringSpace(n, k - 1)
+        vec = _single_annihilation_arrays(space, red)
+        loop = _loop_single_annihilation_arrays(space, red)
+        for a, b in zip(vec, loop):
+            assert a.dtype == b.dtype
+            assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("n,k", [(n, k) for n, k in SPACES if k >= 2])
+    def test_double_annihilation_bit_for_bit(self, n, k):
+        from repro.core.excitations import (
+            _double_annihilation_arrays,
+            _loop_double_annihilation_arrays,
+        )
+
+        space = StringSpace(n, k)
+        red = StringSpace(n, k - 2)
+        vec = _double_annihilation_arrays(space, red)
+        loop = _loop_double_annihilation_arrays(space, red)
+        for a, b in zip(vec, loop):
+            assert a.dtype == b.dtype
+            assert np.array_equal(a, b)
+
+
+class TestLinkIndexTables:
+    """The plan's per-string link views against dense-operator oracles."""
+
+    def _plan(self, n, na, nb, seed=7):
+        from tests.helpers import make_random_problem
+        from repro.core.plans import SigmaPlan
+
+        return SigmaPlan.for_problem(make_random_problem(n, na, nb, seed=seed))
+
+    def test_cached_and_zero_copy(self):
+        plan = self._plan(5, 2, 2)
+        links = plan.link_tables
+        assert plan.link_tables is links  # cached
+        # reshape views share memory with the flat plan arrays
+        assert links.same_a.key.base is plan.same_a.key
+        assert links.gather_b.source.base is plan.gather_b.source
+
+    @pytest.mark.parametrize("n,na,nb", [(3, 1, 1), (3, 2, 1), (4, 2, 2), (5, 3, 1)])
+    def test_singles_link_against_dense_operator(self, n, na, nb):
+        """Row t of the scatter/gather link lists exactly the nonzeros of
+        column blocks of every E_pq with target t (p-shell-sized spaces)."""
+        plan = self._plan(n, na, nb)
+        for link, table in (
+            (plan.link_tables.scatter_a, plan.singles_a),
+            (plan.link_tables.gather_b, plan.singles_b),
+        ):
+            space = table.space
+            dense = {
+                (p, q): table.as_dense_operator(p, q)
+                for p in range(n)
+                for q in range(n)
+            }
+            seen = 0
+            for t in range(space.size):
+                for src, pq, sgn in zip(link.source[t], link.pq[t], link.sign[t]):
+                    p, q = int(pq) // n, int(pq) % n
+                    assert dense[(p, q)][t, int(src)] == sgn
+                    seen += 1
+            # completeness: every nonzero of every E_pq appears exactly once
+            assert seen == sum(np.count_nonzero(M) for M in dense.values())
+
+    @pytest.mark.parametrize("n,na,nb", [(4, 2, 2), (5, 3, 2), (6, 4, 1)])
+    def test_same_spin_link_against_annihilation_oracle(self, n, na, nb):
+        from repro.core.hamiltonian import apply_annihilation
+
+        plan = self._plan(n, na, nb)
+        for link, space, splan in (
+            (plan.link_tables.same_a, plan.problem.space_a, plan.same_a),
+            (plan.link_tables.same_b, plan.problem.space_b, plan.same_b),
+        ):
+            if link is None:
+                continue
+            NK = splan.n_reduced
+            red = StringSpace(n, space.k - 2)
+            for j in range(space.size):
+                for key, sgn in zip(link.key[j], link.sign[j]):
+                    pair, tgt = int(key) // NK, int(key) % NK
+                    # invert pair = q(q-1)/2 + s
+                    q = 1
+                    while (q + 1) * q // 2 <= pair:
+                        q += 1
+                    s = pair - q * (q - 1) // 2
+                    m1, s1 = apply_annihilation(int(space.masks[j]), q)
+                    m2, s2 = apply_annihilation(m1, s)
+                    assert red.index(m2) == tgt
+                    assert s1 * s2 == sgn
